@@ -1,0 +1,62 @@
+// Command perdnn-bench regenerates every table and figure of the PerDNN
+// paper's evaluation against this reproduction, printing paper-style rows.
+//
+// Usage:
+//
+//	perdnn-bench [-exp all|table1,fig1,fig4,fig6,fig7,table2,table3,fig9,traffic,fig10,ablations] [-quick]
+//
+// -quick shrinks datasets and training budgets so the whole suite finishes
+// in well under a minute; the full run takes several minutes and produces
+// the numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments to run")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	flag.Parse()
+
+	all := []struct {
+		name string
+		fn   func(quick bool) error
+	}{
+		{"table1", runTable1},
+		{"fig1", runFig1},
+		{"fig4", runFig4},
+		{"fig6", runFig6},
+		{"fig7", runFig7},
+		{"table2", runTable2},
+		{"table3", runTable3},
+		{"fig9", runFig9},
+		{"traffic", runTraffic},
+		{"fig10", runFig10},
+		{"ablations", runAblations},
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	runAll := want["all"]
+
+	failed := false
+	for _, e := range all {
+		if !runAll && !want[e.name] {
+			continue
+		}
+		fmt.Printf("\n===== %s =====\n", e.name)
+		if err := e.fn(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "perdnn-bench: %s: %v\n", e.name, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

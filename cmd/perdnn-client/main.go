@@ -1,0 +1,86 @@
+// Command perdnn-client is a live mobile client: it registers with the
+// master, connects to an edge server, incrementally uploads its model, runs
+// queries, and reports trajectory points so the master can proactively
+// migrate its layers.
+//
+// Usage:
+//
+//	perdnn-client -master 127.0.0.1:7100 -edge 127.0.0.1:7101 -server 0 \
+//	    -model inception -queries 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/geo"
+	"perdnn/internal/mobile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	masterAddr := flag.String("master", "127.0.0.1:7100", "master daemon address")
+	edgeAddr := flag.String("edge", "127.0.0.1:7101", "edge daemon address")
+	server := flag.Int("server", 0, "edge server ID of -edge")
+	model := flag.String("model", "inception", "zoo model")
+	id := flag.Int("id", 1, "client ID")
+	queries := flag.Int("queries", 10, "queries to run")
+	timescale := flag.Float64("timescale", 0.01, "wall-time scale for simulated work")
+	flag.Parse()
+
+	client, err := mobile.Dial(mobile.Config{
+		ID:         *id,
+		Model:      dnn.ModelName(*model),
+		MasterAddr: *masterAddr,
+		TimeScale:  *timescale,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := client.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "perdnn-client: close:", cerr)
+		}
+	}()
+
+	if err := client.Connect(geo.ServerID(*server), *edgeAddr); err != nil {
+		return err
+	}
+	present, total := client.CacheState()
+	state := "miss"
+	switch {
+	case total > 0 && present == total:
+		state = "hit"
+	case present > 0:
+		state = "partial"
+	}
+	fmt.Printf("connected to server %d: %d/%d plan layers cached (%s)\n",
+		*server, present, total, state)
+
+	for q := 0; q < *queries; q++ {
+		// Interleave upload steps with queries, as the live runtime does.
+		if _, err := client.UploadStep(); err != nil {
+			return err
+		}
+		lat, err := client.Query()
+		if err != nil {
+			return err
+		}
+		present, total = client.CacheState()
+		fmt.Printf("query %2d: latency %-10v uploaded %d/%d layers\n",
+			q+1, lat.Round(time.Millisecond), present, total)
+		if err := client.ReportLocation(geo.Point{X: float64(q) * 10}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Command perdnn-edge runs a live edge-server daemon: it caches clients'
+// DNN layers, executes offloaded layer work on a simulated shared GPU, and
+// answers the master's GPU-statistics pings and migration orders.
+//
+// Usage:
+//
+//	perdnn-edge [-listen :7101] [-model inception] [-ttl 100s] [-timescale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/edged"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-edge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":7101", "listen address")
+	model := flag.String("model", "inception", "zoo model served")
+	ttl := flag.Duration("ttl", 100*time.Second, "layer cache TTL")
+	timescale := flag.Float64("timescale", 0.01, "wall-time scale for simulated work")
+	seed := flag.Int64("seed", 1, "GPU simulation seed")
+	flag.Parse()
+
+	cfg := edged.DefaultConfig(dnn.ModelName(*model))
+	cfg.TTL = *ttl
+	cfg.TimeScale = *timescale
+	cfg.GPUSeed = *seed
+	srv, err := edged.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perdnn-edge: serving %s on %s (ttl %v, timescale %v)\n",
+		*model, ln.Addr(), *ttl, *timescale)
+	return srv.Serve(ln)
+}

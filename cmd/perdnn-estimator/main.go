@@ -1,0 +1,70 @@
+// Command perdnn-estimator trains the GPU execution-time estimator offline
+// (Section III.C.1) and saves it as JSON for the master daemon to load at
+// startup, then prints the learned slowdown curve.
+//
+// Usage:
+//
+//	perdnn-estimator -out estimator.json [-seed 1]
+//	perdnn-master ... -estimator estimator.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"perdnn/internal/estimator"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/profile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-estimator:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "estimator.json", "output path for the trained estimator")
+	seed := flag.Int64("seed", 1, "profiling and training seed")
+	flag.Parse()
+
+	fmt.Println("profiling the simulated GPU and training the random forest...")
+	t0 := time.Now()
+	est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := est.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved to %s (%.1f KB)\n\n", *out, float64(info.Size())/1024)
+
+	fmt.Println("learned slowdown curve (synthetic steady-state loads):")
+	fmt.Printf("%-9s %10s\n", "#clients", "slowdown")
+	for _, k := range []int{1, 2, 4, 8, 12, 16} {
+		gpu := gpusim.New(profile.ServerTitanXp(), gpusim.DefaultParams(), int64(k))
+		for i := 0; i < k; i++ {
+			gpu.Begin(0)
+		}
+		st := gpu.Sample(5 * time.Minute)
+		fmt.Printf("%-9d %9.2fx\n", k, est.EstimateSlowdown(st))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command perdnn-master runs the live master-server daemon. Edge servers
+// are declared with repeated -edge flags giving their daemon address and
+// planar location:
+//
+//	perdnn-master -listen :7100 \
+//	    -edge 127.0.0.1:7101@0,0 -edge 127.0.0.1:7102@87,0
+//
+// The master answers clients' plan requests with GPU-aware partitioning
+// plans and orders proactive layer migrations as clients report their
+// trajectories.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"perdnn/internal/estimator"
+	"perdnn/internal/geo"
+	"perdnn/internal/master"
+)
+
+// edgeFlags collects repeated -edge values.
+type edgeFlags []master.EdgeInfo
+
+func (e *edgeFlags) String() string { return fmt.Sprintf("%d edges", len(*e)) }
+
+func (e *edgeFlags) Set(v string) error {
+	addr, loc, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("edge %q: want addr@x,y", v)
+	}
+	xs, ys, ok := strings.Cut(loc, ",")
+	if !ok {
+		return fmt.Errorf("edge %q: want addr@x,y", v)
+	}
+	x, err := strconv.ParseFloat(xs, 64)
+	if err != nil {
+		return fmt.Errorf("edge %q: %w", v, err)
+	}
+	y, err := strconv.ParseFloat(ys, 64)
+	if err != nil {
+		return fmt.Errorf("edge %q: %w", v, err)
+	}
+	*e = append(*e, master.EdgeInfo{Addr: addr, Location: geo.Point{X: x, Y: y}})
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":7100", "listen address")
+	radius := flag.Float64("radius", 100, "proactive migration radius r in meters")
+	estimatorPath := flag.String("estimator", "", "load a trained estimator JSON (from perdnn-estimator) instead of training at startup")
+	var edges edgeFlags
+	flag.Var(&edges, "edge", "edge server as addr@x,y (repeatable)")
+	flag.Parse()
+
+	if len(edges) == 0 {
+		return fmt.Errorf("at least one -edge required")
+	}
+	cfg := master.DefaultConfig(edges)
+	cfg.Radius = *radius
+	if *estimatorPath != "" {
+		f, err := os.Open(*estimatorPath)
+		if err != nil {
+			return err
+		}
+		est, err := estimator.ReadServerEstimatorJSON(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		cfg.Estimator = est
+	}
+	m, err := master.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perdnn-master: serving on %s with %d edge servers (r=%.0fm)\n",
+		ln.Addr(), len(edges), *radius)
+	return m.Serve(ln)
+}

@@ -1,0 +1,114 @@
+// Command perdnn-sim runs one large-scale PerDNN city simulation and prints
+// its metrics — the programmable counterpart of perdnn-bench's fig9
+// experiment.
+//
+// Usage:
+//
+//	perdnn-sim [-dataset kaist|geolife] [-model mobilenet|inception|resnet]
+//	           [-mode ionn|perdnn|optimal] [-radius 100] [-ttl 5] [-steps 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/edgesim"
+	"perdnn/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataset := flag.String("dataset", "kaist", "mobility dataset: kaist or geolife")
+	model := flag.String("model", "inception", "DNN model: mobilenet, inception, resnet")
+	mode := flag.String("mode", "perdnn", "system: ionn, perdnn, optimal")
+	radius := flag.Float64("radius", 100, "proactive migration radius r in meters")
+	ttl := flag.Int("ttl", 5, "layer cache TTL in prediction intervals")
+	steps := flag.Int("steps", 0, "max trajectory steps (0 = full playback)")
+	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path")
+	flag.Parse()
+
+	var tcfg trace.Config
+	switch *dataset {
+	case "kaist":
+		tcfg = trace.KAISTConfig()
+	case "geolife":
+		tcfg = trace.GeolifeConfig()
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	var m edgesim.Mode
+	switch *mode {
+	case "ionn":
+		m = edgesim.ModeIONN
+	case "perdnn":
+		m = edgesim.ModePerDNN
+	case "optimal":
+		m = edgesim.ModeOptimal
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	fmt.Printf("generating %s dataset...\n", *dataset)
+	base, err := trace.Generate(tcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("preparing environment (placement, predictor, estimator)...")
+	t0 := time.Now()
+	env, err := edgesim.PrepareEnv(base, edgesim.DefaultEnvConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ready in %v: %d edge servers, %d clients, mean speed %.1f m/s\n",
+		time.Since(t0).Round(time.Millisecond), env.Placement.Len(),
+		len(env.Dataset.Test), env.Dataset.MeanSpeed())
+
+	cfg := edgesim.DefaultCityConfig(dnn.ModelName(*model), m, *radius)
+	cfg.TTLIntervals = *ttl
+	cfg.MaxSteps = *steps
+	t0 = time.Now()
+	res, err := edgesim.RunCity(env, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsimulated in %v\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("mode=%s model=%s r=%.0fm ttl=%d\n", res.Mode, res.Model, res.Radius, cfg.TTLIntervals)
+	fmt.Printf("  total queries:        %d (mean latency %v, p50 %v, p95 %v, p99 %v)\n",
+		res.TotalQueries, res.MeanLatency().Round(time.Millisecond),
+		res.Latency.P50().Round(time.Millisecond), res.Latency.P95().Round(time.Millisecond),
+		res.Latency.P99().Round(time.Millisecond))
+	fmt.Printf("  cold-start-window Q:  %d\n", res.WindowQueries)
+	fmt.Printf("  connections:          %d (hit %d / miss %d / partial %d, hit ratio %.0f%%)\n",
+		res.Connections, res.Hits, res.Misses, res.Partials, res.HitRatio()*100)
+	upB, downB := res.Traffic.TotalBytes()
+	_, peakUp := res.Traffic.PeakUp()
+	_, peakDown := res.Traffic.PeakDown()
+	fmt.Printf("  backhaul:             %.1f GB up / %.1f GB down, peak %.0f / %.0f Mbps, %.0f%% of servers under 100 Mbps\n",
+		float64(upB)/1e9, float64(downB)/1e9, peakUp/1e6, peakDown/1e6,
+		res.Traffic.ShareUnderBps(100e6)*100)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := res.Traffic.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  traffic ledger:       %s\n", *csvPath)
+	}
+	return nil
+}

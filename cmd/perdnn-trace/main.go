@@ -1,0 +1,149 @@
+// Command perdnn-trace generates and inspects the synthetic mobility
+// datasets: statistics, an ASCII density map of visited cells (the analog
+// of the paper's Fig 8 coverage plot), and CSV export of the trajectories.
+//
+// Usage:
+//
+//	perdnn-trace -dataset geolife            # stats + density map
+//	perdnn-trace -dataset kaist -csv out.csv # export trajectories
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"perdnn/internal/geo"
+	"perdnn/internal/mobility"
+	"perdnn/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataset := flag.String("dataset", "geolife", "dataset: kaist or geolife")
+	csvPath := flag.String("csv", "", "export test-split trajectories as CSV")
+	mapWidth := flag.Int("mapwidth", 72, "density map width in characters")
+	flag.Parse()
+
+	var cfg trace.Config
+	switch *dataset {
+	case "kaist":
+		cfg = trace.KAISTConfig()
+	case "geolife":
+		cfg = trace.GeolifeConfig()
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+
+	base, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	ds, err := base.Resample(20 * time.Second)
+	if err != nil {
+		return err
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(50), ds.AllPoints())
+
+	st, err := ds.ComputeStats(50)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %.1f x %.1f km, %d train + %d test users\n",
+		ds.Name, ds.Area.Width()/1000, ds.Area.Height()/1000, len(ds.Train), len(ds.Test))
+	fmt.Printf("  speed:           %.2f m/s mean, %.2f median, %.2f p90 (20 s sampling)\n",
+		st.MeanSpeed, st.MedianSpeed, st.P90Speed)
+	fmt.Printf("  stationary:      %.0f%% of steps; %.1f cell changes per user-hour\n",
+		st.StationaryShare*100, st.CellChangesPerHour)
+	fmt.Printf("  edge servers:    %d (50 m cells visited by any user)\n", pl.Len())
+	fmt.Printf("  futile ratio:    %.2f (n=5, t=20 s)\n", mobility.FutileRatio(ds.Test, pl, 5))
+
+	fmt.Println("\nvisited-cell density (darker = more samples), cf. Fig 8:")
+	printDensity(base, *mapWidth)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(f, ds); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nexported test trajectories to %s\n", *csvPath)
+	}
+	return nil
+}
+
+// printDensity renders sample counts on a character grid.
+func printDensity(ds *trace.Dataset, width int) {
+	if width < 8 {
+		width = 8
+	}
+	aspect := ds.Area.Height() / ds.Area.Width()
+	height := int(float64(width) * aspect / 2) // terminal cells are ~2:1
+	if height < 4 {
+		height = 4
+	}
+	counts := make([][]int, height)
+	for i := range counts {
+		counts[i] = make([]int, width)
+	}
+	max := 0
+	for _, p := range ds.AllPoints() {
+		x := int(p.X / ds.Area.Width() * float64(width))
+		y := int(p.Y / ds.Area.Height() * float64(height))
+		if x >= width {
+			x = width - 1
+		}
+		if y >= height {
+			y = height - 1
+		}
+		counts[y][x]++
+		if counts[y][x] > max {
+			max = counts[y][x]
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	for y := height - 1; y >= 0; y-- {
+		row := make([]byte, width)
+		for x := 0; x < width; x++ {
+			idx := 0
+			if counts[y][x] > 0 && max > 0 {
+				idx = 1 + counts[y][x]*(len(shades)-2)/max
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			row[x] = shades[idx]
+		}
+		fmt.Printf("  |%s|\n", row)
+	}
+}
+
+// writeCSV exports the test split as user,step,time_s,x,y rows.
+func writeCSV(f *os.File, ds *trace.Dataset) error {
+	if _, err := fmt.Fprintln(f, "user,step,time_s,x_m,y_m"); err != nil {
+		return err
+	}
+	for _, tr := range ds.Test {
+		for i, p := range tr.Points {
+			at := time.Duration(i) * tr.Interval
+			if _, err := fmt.Fprintf(f, "%d,%d,%.0f,%.1f,%.1f\n",
+				tr.User, i, at.Seconds(), p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package perdnn_test
+
+import (
+	"fmt"
+	"time"
+
+	"perdnn"
+)
+
+// ExampleLoadModel shows the Table I model inventory.
+func ExampleLoadModel() {
+	for _, name := range perdnn.ModelNames() {
+		m, err := perdnn.LoadModel(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(m)
+	}
+	// Output:
+	// mobilenet: 110 layers, 16 MB, 1.16 GFLOPs
+	// inception: 301 layers, 125 MB, 4.14 GFLOPs
+	// resnet: 227 layers, 98 MB, 7.73 GFLOPs
+}
+
+// ExamplePartitionModel partitions Inception between the paper's client
+// board and an idle edge server.
+func ExamplePartitionModel() {
+	m, err := perdnn.LoadModel(perdnn.ModelInception)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := perdnn.PartitionModel(perdnn.NewProfile(m), 1.0, perdnn.LabWiFi())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(plan)
+	// Output:
+	// plan[inception]: 301/301 layers on server, 124.7 MB server-side, est 182ms
+}
+
+// ExamplePartitionModel_contention shows the plan shifting back to the
+// client as the server's GPU gets crowded.
+func ExamplePartitionModel_contention() {
+	m, err := perdnn.LoadModel(perdnn.ModelMobileNet)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	prof := perdnn.NewProfile(m)
+	for _, slowdown := range []float64{1, 500} {
+		plan, err := perdnn.PartitionModel(prof, slowdown, perdnn.LabWiFi())
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("slowdown %.0fx: %d/%d layers on server\n",
+			slowdown, plan.NumServerLayers(), m.NumLayers())
+	}
+	// Output:
+	// slowdown 1x: 110/110 layers on server
+	// slowdown 500x: 0/110 layers on server
+}
+
+// ExampleUploadSchedule prints the efficiency-first upload order that makes
+// fractional migration effective.
+func ExampleUploadSchedule() {
+	m, err := perdnn.LoadModel(perdnn.ModelInception)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	prof := perdnn.NewProfile(m)
+	plan, err := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	units, err := perdnn.UploadSchedule(prof, plan)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d units; first unit %.1f MB, last unit %.1f MB\n",
+		len(units),
+		float64(units[0].Bytes)/(1<<20),
+		float64(units[len(units)-1].Bytes)/(1<<20))
+	// Output:
+	// 8 units; first unit 1.3 MB, last unit 85.4 MB
+}
+
+// ExampleRunSingle reproduces the cold-start spike of Fig 1.
+func ExampleRunSingle() {
+	cfg := perdnn.SingleDefaults(perdnn.ModelInception)
+	res, err := perdnn.RunSingle(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("steady: %v, at server change: %v\n",
+		res.Queries[cfg.SwitchAfterQueries-1].Latency.Round(time.Millisecond),
+		res.Queries[cfg.SwitchAfterQueries].Latency.Round(time.Millisecond))
+	// Output:
+	// steady: 187ms, at server change: 1.554s
+}

@@ -1,0 +1,70 @@
+// Cognitive assistance: the paper's motivating application (Section IV) —
+// a wearable device continuously recognizes objects for a visually-impaired
+// user while walking between Wi-Fi hotspots. This example replays the Fig 7
+// scenario: DNN queries every 0.5 s while the user moves from one edge
+// server to another, comparing the IONN baseline against PerDNN's proactive
+// migration (full and fractional).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"perdnn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cognitive-assistance:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Mobile cognitive assistance on Inception-21k: 40 queries, the user")
+	fmt.Println("changes hotspots before query 21.")
+	fmt.Println()
+
+	variants := []struct {
+		name     string
+		fraction float64
+	}{
+		{"IONN (no proactive migration)", 0},
+		{"PerDNN, 14% of layers pre-migrated", 0.14},
+		{"PerDNN, full model pre-migrated", 1},
+	}
+	for _, v := range variants {
+		cfg := perdnn.SingleDefaults(perdnn.ModelInception)
+		cfg.MigrateFraction = v.fraction
+		res, err := perdnn.RunSingle(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s (migrated %.1f MB) ---\n", v.name, float64(res.MigratedBytes)/(1<<20))
+		printSeries(res, cfg.SwitchAfterQueries)
+		fmt.Printf("worst frame gap after the switch: %v\n\n",
+			res.PeakAfterSwitch().Round(time.Millisecond))
+	}
+	return nil
+}
+
+// printSeries renders the per-query latencies as an ASCII strip chart.
+func printSeries(res *perdnn.SingleResult, switchAt int) {
+	var max time.Duration
+	for _, q := range res.Queries {
+		if q.Latency > max {
+			max = q.Latency
+		}
+	}
+	for i, q := range res.Queries {
+		bar := int(float64(q.Latency) / float64(max) * 50)
+		marker := ""
+		if i == switchAt {
+			marker = " <- hotspot change"
+		}
+		fmt.Printf("q%02d %8v |%s%s\n", i+1, q.Latency.Round(time.Millisecond),
+			strings.Repeat("#", bar), marker)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: load a zoo model, partition it between the paper's client
+// board and edge server, and print the plan and its efficiency-ordered
+// upload schedule.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"perdnn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model, err := perdnn.LoadModel(perdnn.ModelInception)
+	if err != nil {
+		return err
+	}
+	fmt.Println("model:   ", model)
+
+	prof := perdnn.NewProfile(model)
+	fmt.Printf("local:    %v on %s\n", prof.TotalClientTime().Round(time.Millisecond), perdnn.ClientDevice().Name)
+	fmt.Printf("remote:   %v on %s (plus transfers)\n", prof.TotalServerBase().Round(time.Millisecond), perdnn.ServerDevice().Name)
+
+	// Partition at three contention levels: idle server, moderately
+	// loaded, and heavily contended.
+	for _, slowdown := range []float64{1, 4, 40} {
+		plan, err := perdnn.PartitionModel(prof, slowdown, perdnn.LabWiFi())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slowdown %5.0fx: %v\n", slowdown, plan)
+	}
+
+	plan, err := perdnn.PartitionModel(prof, 1, perdnn.LabWiFi())
+	if err != nil {
+		return err
+	}
+	units, err := perdnn.UploadSchedule(prof, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nefficiency-first upload schedule:")
+	var cum int64
+	for i, u := range units {
+		cum += u.Bytes
+		fmt.Printf("  unit %d: layers %d..%d, %6.2f MB (cumulative %6.2f MB)\n",
+			i, u.Layers[0], u.Layers[len(u.Layers)-1],
+			float64(u.Bytes)/(1<<20), float64(cum)/(1<<20))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module perdnn
+
+go 1.22

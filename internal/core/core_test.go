@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/estimator"
+	"perdnn/internal/geo"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/mobility"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+	"perdnn/internal/trace"
+)
+
+var testPlannerOnce = sync.OnceValues(func() (*Planner, error) {
+	m := dnn.MobileNetV1()
+	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+	est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), 3)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlanner(prof, est, partition.LabWiFi())
+})
+
+func testPlanner(t *testing.T) *Planner {
+	t.Helper()
+	p, err := testPlannerOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(nil, nil, partition.LabWiFi()); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}
+
+func TestPlannerCachesBySlowdownBucket(t *testing.T) {
+	p := testPlanner(t)
+	a, err := p.PlanAtSlowdown(1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.PlanAtSlowdown(1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("nearby slowdowns not cached together")
+	}
+	c, err := p.PlanAtSlowdown(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distant slowdowns share a cache entry")
+	}
+	// Sub-1 slowdowns clamp to 1.
+	d, err := p.PlanAtSlowdown(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != a {
+		t.Error("clamped slowdown not cached with 1.0")
+	}
+}
+
+func TestPlannerContentionShiftsPlan(t *testing.T) {
+	p := testPlanner(t)
+	idle, err := p.PlanAtSlowdown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jam, err := p.PlanAtSlowdown(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jam.Plan.NumServerLayers() >= idle.Plan.NumServerLayers() {
+		t.Errorf("contention did not shrink offloading: %d -> %d",
+			idle.Plan.NumServerLayers(), jam.Plan.NumServerLayers())
+	}
+}
+
+func TestPlannerUsesGPUStats(t *testing.T) {
+	p := testPlanner(t)
+	idle := gpusim.Stats{ActiveClients: 1, KernelUtil: 0.1, MemUtil: 0.05, MemUsedMB: 1200, TempC: 35}
+	busy := gpusim.Stats{ActiveClients: 12, KernelUtil: 0.75, MemUtil: 0.45, MemUsedMB: 9500, TempC: 92}
+	if si, sb := p.Slowdown(idle), p.Slowdown(busy); sb <= si {
+		t.Errorf("slowdown idle %v vs busy %v", si, sb)
+	}
+	e, err := p.PlanFor(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan == nil || len(e.Schedule) == 0 {
+		t.Error("empty plan entry")
+	}
+	req := p.Request(e)
+	if req.Slowdown != e.Plan.Slowdown {
+		t.Error("Request slowdown mismatch")
+	}
+}
+
+func policyEnv(t *testing.T) (*MigrationPolicy, *geo.Placement) {
+	t.Helper()
+	cfg := trace.KAISTConfig()
+	cfg.TrainUsers = 6
+	cfg.TestUsers = 3
+	cfg.Duration = 40 * time.Minute
+	base, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := base.Resample(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(50), ds.AllPoints())
+	svr := &mobility.SVR{Seed: 1}
+	if err := svr.Fit(ds.Train, pl, 5); err != nil {
+		t.Fatal(err)
+	}
+	pol := &MigrationPolicy{
+		Predictor:    svr,
+		Placement:    pl,
+		Radius:       100,
+		HistoryLen:   5,
+		TTLIntervals: 5,
+	}
+	if err := pol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return pol, pl
+}
+
+func TestPolicyValidate(t *testing.T) {
+	pol, _ := policyEnv(t)
+	bad := *pol
+	bad.Predictor = nil
+	if bad.Validate() == nil {
+		t.Error("nil predictor accepted")
+	}
+	bad = *pol
+	bad.Radius = 0
+	if bad.Validate() == nil {
+		t.Error("zero radius accepted")
+	}
+	bad = *pol
+	bad.TTLIntervals = 0
+	if bad.Validate() == nil {
+		t.Error("zero TTL accepted")
+	}
+	bad = *pol
+	bad.HistoryLen = 0
+	if bad.Validate() == nil {
+		t.Error("zero history accepted")
+	}
+}
+
+func TestPolicyTargets(t *testing.T) {
+	pol, pl := policyEnv(t)
+	// A straight-line recent trajectory somewhere in the area.
+	center := pl.Center(0)
+	recent := make([]geo.Point, 0, 5)
+	for i := 0; i < 5; i++ {
+		recent = append(recent, center.Add(geo.Point{X: float64(i) * 10, Y: 0}))
+	}
+	cur := pl.ServerAt(recent[len(recent)-1])
+	targets, ok := pol.Targets(recent, cur)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	for _, id := range targets {
+		if id == cur {
+			t.Error("targets include the current server")
+		}
+	}
+	if _, ok := pol.Targets(nil, cur); ok {
+		t.Error("empty history produced a prediction")
+	}
+}
+
+func TestPolicyFractionalCaps(t *testing.T) {
+	pol, _ := policyEnv(t)
+	if pol.CapBytes(1, 2) != -1 {
+		t.Error("uncapped transfer has a budget")
+	}
+	pol.FractionCapBytes = map[geo.ServerID]int64{1: 100, 2: 50}
+	if got := pol.CapBytes(1, 3); got != 100 {
+		t.Errorf("src cap = %d", got)
+	}
+	if got := pol.CapBytes(3, 2); got != 50 {
+		t.Errorf("dst cap = %d", got)
+	}
+	if got := pol.CapBytes(1, 2); got != 50 {
+		t.Errorf("tightest cap = %d", got)
+	}
+	units := []partition.UploadUnit{
+		{Layers: []dnn.LayerID{0}, Bytes: 60},
+		{Layers: []dnn.LayerID{1}, Bytes: 60},
+	}
+	if got := pol.TruncateForTransfer(units, 3, 4); len(got) != 2 {
+		t.Errorf("uncapped truncation = %d units", len(got))
+	}
+	if got := pol.TruncateForTransfer(units, 1, 4); len(got) != 1 {
+		t.Errorf("capped truncation = %d units", len(got))
+	}
+}
+
+func TestPolicyTTL(t *testing.T) {
+	pol, _ := policyEnv(t)
+	if got := pol.TTL(20 * time.Second); got != 100*time.Second {
+		t.Errorf("TTL = %v", got)
+	}
+}
+
+func TestPolicyTargetsWithMarkov(t *testing.T) {
+	// Discrete predictors route through Rank + the top server's center.
+	pol, pl := policyEnv(t)
+	cfg := trace.KAISTConfig()
+	cfg.TrainUsers = 6
+	cfg.TestUsers = 3
+	cfg.Duration = 40 * time.Minute
+	base, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := base.Resample(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := &mobility.Markov{}
+	if err := mk.Fit(ds.Train, pl, 5); err != nil {
+		t.Fatal(err)
+	}
+	pol.Predictor = mk
+	recent := ds.Test[0].Points[:5]
+	if _, ok := pol.Targets(recent, geo.NoServer); !ok {
+		t.Error("Markov policy produced no targets")
+	}
+}

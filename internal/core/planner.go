@@ -1,0 +1,123 @@
+// Package core is PerDNN's master-server control plane (Section III.B): it
+// combines the GPU-aware execution-time estimator, the partitioning
+// algorithm, the mobility predictor, and the proactive-migration policy into
+// the decisions the master makes for every client — which server to offload
+// to, how to split the model, in what order to move layers, and where to
+// push layers ahead of the client's movement. Both the discrete-event
+// simulator (internal/edgesim) and the live networked master
+// (internal/master) drive this package.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"perdnn/internal/estimator"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+)
+
+// PlanEntry is a partitioning plan bundled with its upload schedule.
+type PlanEntry struct {
+	Plan     *partition.Plan
+	Schedule []partition.UploadUnit
+}
+
+// Planner produces partitioning plans for one client model against servers
+// whose contention state is described by GPU statistics. Plans are cached
+// by quantized slowdown: the plan space is insensitive to tiny slowdown
+// changes, and the simulator requests plans constantly.
+type Planner struct {
+	prof *profile.ModelProfile
+	est  *estimator.ServerEstimator
+	link partition.Link
+
+	mu    sync.Mutex
+	cache map[int]*PlanEntry
+}
+
+// NewPlanner builds a planner for the given model profile, estimator and
+// client-server link.
+func NewPlanner(prof *profile.ModelProfile, est *estimator.ServerEstimator, link partition.Link) (*Planner, error) {
+	if prof == nil || est == nil {
+		return nil, fmt.Errorf("core: planner needs a profile and an estimator")
+	}
+	return &Planner{
+		prof:  prof,
+		est:   est,
+		link:  link,
+		cache: make(map[int]*PlanEntry, 8),
+	}, nil
+}
+
+// Profile returns the model profile the planner was built for.
+func (p *Planner) Profile() *profile.ModelProfile { return p.prof }
+
+// Link returns the client-server link assumed by the plans.
+func (p *Planner) Link() partition.Link { return p.link }
+
+// Slowdown returns the estimated contention slowdown for a server at the
+// given GPU state.
+func (p *Planner) Slowdown(st gpusim.Stats) float64 {
+	return p.est.EstimateSlowdown(st)
+}
+
+// slowdownBucket quantizes a slowdown for plan caching (0.25-wide buckets).
+func slowdownBucket(s float64) int {
+	return int(math.Round(s * 4))
+}
+
+// PlanFor returns the minimum-latency plan and its efficiency-ordered
+// upload schedule for a server at the given GPU state.
+func (p *Planner) PlanFor(st gpusim.Stats) (*PlanEntry, error) {
+	return p.planAt(p.Slowdown(st))
+}
+
+// PlanAtSlowdown returns the plan for an explicit slowdown factor (used by
+// oracles and tests).
+func (p *Planner) PlanAtSlowdown(s float64) (*PlanEntry, error) {
+	if s < 1 {
+		s = 1
+	}
+	return p.planAt(s)
+}
+
+func (p *Planner) planAt(slowdown float64) (*PlanEntry, error) {
+	bucket := slowdownBucket(slowdown)
+	p.mu.Lock()
+	if e, ok := p.cache[bucket]; ok {
+		p.mu.Unlock()
+		return e, nil
+	}
+	p.mu.Unlock()
+
+	req := partition.Request{
+		Profile:  p.prof,
+		Slowdown: float64(bucket) / 4,
+		Link:     p.link,
+	}
+	if req.Slowdown < 1 {
+		req.Slowdown = 1
+	}
+	plan, err := partition.Partition(req)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning at slowdown %.2f: %w", slowdown, err)
+	}
+	sched, err := partition.UploadSchedule(req, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling at slowdown %.2f: %w", slowdown, err)
+	}
+	e := &PlanEntry{Plan: plan, Schedule: sched}
+	p.mu.Lock()
+	p.cache[bucket] = e
+	p.mu.Unlock()
+	return e, nil
+}
+
+// Request reconstructs the partition request matching a plan entry, for
+// exact latency evaluation of partially-uploaded states.
+func (p *Planner) Request(e *PlanEntry) partition.Request {
+	return partition.Request{Profile: p.prof, Slowdown: e.Plan.Slowdown, Link: p.link}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"perdnn/internal/geo"
+	"perdnn/internal/mobility"
+	"perdnn/internal/partition"
+)
+
+// MigrationPolicy decides where to proactively push a client's DNN layers
+// (Section III.B.2): predict the client's next location from its recent
+// trajectory, take every edge server within Radius of the prediction, and
+// send the server-side layers of a speculative ("future") partitioning
+// plan, truncated for crowded servers under fractional migration.
+type MigrationPolicy struct {
+	// Predictor is the trained mobility predictor (linear SVR by default).
+	Predictor mobility.Predictor
+	// Placement maps locations to edge servers.
+	Placement *geo.Placement
+	// Radius is the paper's r: servers within this distance of the
+	// predicted location receive layers (50 m or 100 m in the evaluation).
+	Radius float64
+	// HistoryLen is the trajectory length n (5 in the paper).
+	HistoryLen int
+	// TTLIntervals is how many prediction intervals migrated layers stay
+	// cached at a server before being discarded (5 in the paper).
+	TTLIntervals int
+	// FractionCapBytes caps the bytes migrated to or from a crowded
+	// server; nil or missing entries mean no cap (Section IV.B.5).
+	FractionCapBytes map[geo.ServerID]int64
+}
+
+// Validate checks the policy is usable.
+func (p *MigrationPolicy) Validate() error {
+	if p.Predictor == nil {
+		return fmt.Errorf("core: policy has no predictor")
+	}
+	if p.Placement == nil {
+		return fmt.Errorf("core: policy has no placement")
+	}
+	if p.Radius <= 0 {
+		return fmt.Errorf("core: policy radius %v", p.Radius)
+	}
+	if p.HistoryLen <= 0 {
+		return fmt.Errorf("core: policy history length %d", p.HistoryLen)
+	}
+	if p.TTLIntervals <= 0 {
+		return fmt.Errorf("core: policy TTL %d", p.TTLIntervals)
+	}
+	return nil
+}
+
+// Targets returns the servers near the client's predicted next location
+// that should receive layers, excluding the client's current server (it
+// already has them). The boolean reports whether a prediction was possible.
+func (p *MigrationPolicy) Targets(recent []geo.Point, current geo.ServerID) ([]geo.ServerID, bool) {
+	if len(recent) == 0 {
+		return nil, false
+	}
+	if len(recent) > p.HistoryLen {
+		recent = recent[len(recent)-p.HistoryLen:]
+	}
+	pt, ok := p.Predictor.PredictPoint(recent)
+	if !ok {
+		// Discrete predictor: take its top-ranked servers directly and
+		// keep those within radius of the top prediction's center.
+		ranked := p.Predictor.Rank(recent, 2)
+		if len(ranked) == 0 {
+			return nil, false
+		}
+		pt = p.Placement.Center(ranked[0])
+	}
+	within := p.Placement.Within(pt, p.Radius)
+	out := make([]geo.ServerID, 0, len(within))
+	for _, id := range within {
+		if id != current {
+			out = append(out, id)
+		}
+	}
+	return out, true
+}
+
+// CapBytes returns the migration byte budget for a transfer from src to
+// dst given the fractional-migration caps; the tighter endpoint wins.
+// A negative result means unlimited.
+func (p *MigrationPolicy) CapBytes(src, dst geo.ServerID) int64 {
+	if p.FractionCapBytes == nil {
+		return -1
+	}
+	budget := int64(-1)
+	if c, ok := p.FractionCapBytes[src]; ok {
+		budget = c
+	}
+	if c, ok := p.FractionCapBytes[dst]; ok && (budget < 0 || c < budget) {
+		budget = c
+	}
+	return budget
+}
+
+// TruncateForTransfer applies the fractional cap to a schedule for a
+// src->dst transfer.
+func (p *MigrationPolicy) TruncateForTransfer(units []partition.UploadUnit, src, dst geo.ServerID) []partition.UploadUnit {
+	cap := p.CapBytes(src, dst)
+	if cap < 0 {
+		return units
+	}
+	return partition.TruncateSchedule(units, cap)
+}
+
+// TTL returns the cache lifetime of migrated layers given the prediction
+// interval.
+func (p *MigrationPolicy) TTL(interval time.Duration) time.Duration {
+	return time.Duration(p.TTLIntervals) * interval
+}

@@ -1,0 +1,54 @@
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the model (structure only — there are no weights) so
+// deployments can ship DNN profiles to the master server or persist custom
+// models to disk.
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("dnn: encoding model %q: %w", m.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes and validates a model written by WriteJSON.
+// Validation runs on load because the bytes may come from an untrusted
+// client: a malformed DAG must never reach the partitioner.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("dnn: decoding model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("dnn: loaded model is invalid: %w", err)
+	}
+	return &m, nil
+}
+
+// MarshalJSON implements json.Marshaler for LayerType, encoding the
+// human-readable name.
+func (t LayerType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler for LayerType.
+func (t *LayerType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for lt, name := range layerTypeNames {
+		if name == s {
+			*t = lt
+			return nil
+		}
+	}
+	return fmt.Errorf("dnn: unknown layer type %q", s)
+}

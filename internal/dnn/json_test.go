@@ -1,0 +1,74 @@
+package dnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	for _, name := range ZooNames() {
+		m, err := ZooModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name != m.Name || got.NumLayers() != m.NumLayers() {
+			t.Fatalf("%s: round trip changed shape", name)
+		}
+		if got.TotalWeightBytes() != m.TotalWeightBytes() || got.TotalFLOPs() != m.TotalFLOPs() {
+			t.Errorf("%s: round trip changed totals", name)
+		}
+		for i := range m.Layers {
+			a, b := &m.Layers[i], &got.Layers[i]
+			if a.Name != b.Name || a.Type != b.Type || a.Out != b.Out || a.WeightBytes != b.WeightBytes {
+				t.Fatalf("%s: layer %d differs after round trip", name, i)
+			}
+			if len(a.Inputs) != len(b.Inputs) {
+				t.Fatalf("%s: layer %d inputs differ", name, i)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"empty model", `{"name":"x","layers":[]}`},
+		{"bad layer type", `{"name":"x","layers":[{"id":0,"name":"l","type":"nonsense","out":{"c":1,"h":1,"w":1}}]}`},
+		{"forward edge", `{"name":"x","layers":[
+			{"id":0,"name":"a","type":"relu","out":{"c":1,"h":1,"w":1}},
+			{"id":1,"name":"b","type":"relu","inputs":[5],"out":{"c":1,"h":1,"w":1}}]}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tc.data)); err == nil {
+				t.Error("invalid model accepted")
+			}
+		})
+	}
+}
+
+func TestLayerTypeJSON(t *testing.T) {
+	var lt LayerType
+	if err := lt.UnmarshalJSON([]byte(`"conv"`)); err != nil || lt != Conv {
+		t.Errorf("unmarshal conv: %v %v", lt, err)
+	}
+	data, err := DepthwiseConv.MarshalJSON()
+	if err != nil || string(data) != `"dwconv"` {
+		t.Errorf("marshal dwconv: %s %v", data, err)
+	}
+	if err := lt.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("numeric layer type accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package dnn
+
+import "fmt"
+
+// The model zoo reconstructs the three evaluation models of Table I:
+//
+//	Name       #Layers  Size   Description
+//	MobileNet     110   16 MB  MobileNet v1, 1k classes
+//	Inception     312  128 MB  Inception(-BN) 21k classes
+//	ResNet        245   98 MB  ResNet-50, 1k classes
+//
+// Layer counting follows Caffe's taxonomy (the paper's executor): batch
+// normalization contributes a BatchNorm and a Scale layer, activations and
+// eltwise joins are layers of their own. The reconstructions land on the
+// paper's layer counts and sizes to within a few percent; exact figures are
+// asserted in zoo_test.go and recorded in EXPERIMENTS.md.
+
+// ModelName identifies a zoo model.
+type ModelName string
+
+// Zoo model names.
+const (
+	ModelMobileNet ModelName = "mobilenet"
+	ModelInception ModelName = "inception"
+	ModelResNet    ModelName = "resnet"
+)
+
+// ZooNames lists all zoo models in Table I order.
+func ZooNames() []ModelName {
+	return []ModelName{ModelMobileNet, ModelInception, ModelResNet}
+}
+
+// ZooModel builds a zoo model by name.
+func ZooModel(name ModelName) (*Model, error) {
+	switch name {
+	case ModelMobileNet:
+		return MobileNetV1(), nil
+	case ModelInception:
+		return Inception21k(), nil
+	case ModelResNet:
+		return ResNet50(), nil
+	default:
+		return nil, fmt.Errorf("dnn: unknown zoo model %q", name)
+	}
+}
+
+// MobileNetV1 builds MobileNet v1 for 224x224 RGB input and 1000 classes:
+// a stem convolution followed by 13 depthwise-separable blocks.
+func MobileNetV1() *Model {
+	b := NewBuilder(string(ModelMobileNet), Shape{C: 3, H: 224, W: 224})
+	b.ConvBNReLU("conv1", 32, 3, 2, 1)
+
+	// Each entry is a depthwise-separable block: depthwise 3x3 with the
+	// given stride, then pointwise 1x1 to outC.
+	blocks := []struct {
+		outC, stride int
+	}{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, blk := range blocks {
+		prefix := fmt.Sprintf("conv%d", i+2)
+		b.DWConv(prefix+"/dw", 3, blk.stride, 1)
+		b.BN(prefix + "/dw/bn")
+		b.ScaleLayer(prefix + "/dw/scale")
+		b.ReLU(prefix + "/dw/relu")
+		b.Conv(prefix+"/pw", blk.outC, 1, 1, 0)
+		b.BN(prefix + "/pw/bn")
+		b.ScaleLayer(prefix + "/pw/scale")
+		b.ReLU(prefix + "/pw/relu")
+	}
+	b.GlobalPool("pool")
+	b.FC("fc", 1000)
+	return b.Build()
+}
+
+// ResNet50 builds ResNet-50 for 224x224 RGB input and 1000 classes: a 7x7
+// stem and four stages of bottleneck blocks [3,4,6,3] with projection
+// shortcuts at each stage entry.
+func ResNet50() *Model {
+	b := NewBuilder(string(ModelResNet), Shape{C: 3, H: 224, W: 224})
+	b.ConvBNReLU("conv1", 64, 7, 2, 3)
+	b.Pool("pool1", 3, 2, 0)
+
+	stage := func(name string, blocks, midC, outC, stride int) {
+		for i := 0; i < blocks; i++ {
+			blk := fmt.Sprintf("%s_%d", name, i+1)
+			entry := b.Cur()
+			s := 1
+			if i == 0 {
+				s = stride
+			}
+			// Main branch: 1x1 reduce, 3x3, 1x1 expand (no ReLU after
+			// the final scale; it follows the shortcut add).
+			b.ConvBNReLU(blk+"/a", midC, 1, s, 0)
+			b.ConvBNReLU(blk+"/b", midC, 3, 1, 1)
+			b.Conv(blk+"/c", outC, 1, 1, 0)
+			b.BN(blk + "/c/bn")
+			main := b.ScaleLayer(blk + "/c/scale")
+
+			shortcut := entry
+			if i == 0 {
+				// Projection shortcut to match channels/stride.
+				b.SetCur(entry)
+				b.Conv(blk+"/proj", outC, 1, s, 0)
+				b.BN(blk + "/proj/bn")
+				shortcut = b.ScaleLayer(blk + "/proj/scale")
+			}
+			b.AddOf(blk+"/add", main, shortcut)
+			b.ReLU(blk + "/relu")
+		}
+	}
+	stage("res2", 3, 64, 256, 1)
+	stage("res3", 4, 128, 512, 2)
+	stage("res4", 6, 256, 1024, 2)
+	stage("res5", 3, 512, 2048, 2)
+
+	b.GlobalPool("pool5")
+	b.FC("fc", 1000)
+	return b.Build()
+}
+
+// inceptionBranchSpec configures one Inception-BN module: channel widths of
+// the 1x1 branch, the 3x3 branch (reduce -> conv), the double-3x3 branch
+// (reduce -> conv -> conv), and the pooled projection. A zero c1 marks a
+// stride-2 reduction module (no 1x1 branch, pass-through pool, stride-2
+// convolutions at branch ends).
+type inceptionBranchSpec struct {
+	name      string
+	c1        int
+	c3r, c3   int
+	cd3r, cd3 int
+	proj      int
+	stride2   bool
+}
+
+// Inception21k builds an Inception-BN ("Inception 21k") network for 224x224
+// RGB input and the ImageNet-21k label set (21841 classes). The huge final
+// FC layer (1024 x 21841) accounts for most of the 128 MB model size, while
+// the compute-heavy convolutions are concentrated in the front — the
+// structural property behind the paper's fractional-migration result.
+func Inception21k() *Model {
+	const numClasses = 21841
+	b := NewBuilder(string(ModelInception), Shape{C: 3, H: 224, W: 224})
+	b.ConvBNReLU("conv1", 64, 7, 2, 3)
+	b.Pool("pool1", 3, 2, 1)
+	b.ConvBNReLU("conv2red", 64, 1, 1, 0)
+	b.ConvBNReLU("conv2", 192, 3, 1, 1)
+	b.Pool("pool2", 3, 2, 1)
+
+	modules := []inceptionBranchSpec{
+		{name: "3a", c1: 64, c3r: 64, c3: 64, cd3r: 64, cd3: 96, proj: 32},
+		{name: "3b", c1: 64, c3r: 64, c3: 96, cd3r: 64, cd3: 96, proj: 64},
+		{name: "3c", c3r: 128, c3: 160, cd3r: 64, cd3: 96, stride2: true},
+		{name: "4a", c1: 224, c3r: 64, c3: 96, cd3r: 96, cd3: 128, proj: 128},
+		{name: "4b", c1: 192, c3r: 96, c3: 128, cd3r: 96, cd3: 128, proj: 128},
+		{name: "4c", c1: 160, c3r: 128, c3: 160, cd3r: 128, cd3: 160, proj: 128},
+		{name: "4d", c1: 96, c3r: 128, c3: 192, cd3r: 160, cd3: 192, proj: 128},
+		{name: "4e", c3r: 128, c3: 192, cd3r: 192, cd3: 256, stride2: true},
+		{name: "5a", c1: 352, c3r: 192, c3: 320, cd3r: 160, cd3: 224, proj: 128},
+		{name: "5b", c1: 352, c3r: 192, c3: 320, cd3r: 192, cd3: 224, proj: 128},
+	}
+	for _, mod := range modules {
+		entry := b.Cur()
+		prefix := "inc" + mod.name
+		branches := make([]Ref, 0, 4)
+		stride := 1
+		if mod.stride2 {
+			stride = 2
+		}
+
+		if mod.c1 > 0 {
+			b.SetCur(entry)
+			branches = append(branches, b.ConvBNReLU(prefix+"/1x1", mod.c1, 1, 1, 0))
+		}
+
+		b.SetCur(entry)
+		b.ConvBNReLU(prefix+"/3x3r", mod.c3r, 1, 1, 0)
+		branches = append(branches, b.ConvBNReLU(prefix+"/3x3", mod.c3, 3, stride, 1))
+
+		b.SetCur(entry)
+		b.ConvBNReLU(prefix+"/d3x3r", mod.cd3r, 1, 1, 0)
+		b.ConvBNReLU(prefix+"/d3x3a", mod.cd3, 3, 1, 1)
+		branches = append(branches, b.ConvBNReLU(prefix+"/d3x3b", mod.cd3, 3, stride, 1))
+
+		b.SetCur(entry)
+		if mod.stride2 {
+			branches = append(branches, b.Pool(prefix+"/pool", 3, 2, 1))
+		} else {
+			b.Pool(prefix+"/pool", 3, 1, 1)
+			branches = append(branches, b.ConvBNReLU(prefix+"/proj", mod.proj, 1, 1, 0))
+		}
+
+		b.ConcatOf(prefix+"/concat", branches...)
+	}
+
+	b.GlobalPool("pool5")
+	b.Dropout("drop")
+	b.FC("fc", numClasses)
+	return b.Build()
+}

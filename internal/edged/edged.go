@@ -1,0 +1,301 @@
+// Package edged implements the live edge-server daemon: it owns a simulated
+// GPU, caches clients' DNN layers with TTL eviction, executes offloaded
+// layer work under contention, reports nvml-style statistics to the master,
+// and pushes layers to peer edge servers when the master orders a proactive
+// migration.
+package edged
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/profile"
+	"perdnn/internal/wire"
+)
+
+// Config parameterizes an edge daemon.
+type Config struct {
+	// Model is the zoo model whose layers this deployment serves (used to
+	// size layer bitsets and price weights).
+	Model dnn.ModelName
+	// TTL is the cache lifetime of migrated/uploaded layers.
+	TTL time.Duration
+	// LinkBps prices declared transfers (client uploads, peer migrations).
+	LinkBps float64
+	// TimeScale compresses simulated durations into wall time (0.01 runs
+	// 100x faster than real time). Zero disables sleeping entirely.
+	TimeScale float64
+	// GPUSeed seeds the simulated GPU.
+	GPUSeed int64
+}
+
+// DefaultConfig returns a demo-friendly configuration.
+func DefaultConfig(model dnn.ModelName) Config {
+	return Config{
+		Model:     model,
+		TTL:       100 * time.Second,
+		LinkBps:   35e6,
+		TimeScale: 0.01,
+		GPUSeed:   1,
+	}
+}
+
+// Server is a running edge daemon.
+type Server struct {
+	cfg   Config
+	model *dnn.Model
+	gpu   *gpusim.GPU
+	start time.Time
+
+	mu    sync.Mutex
+	cache map[int]*cacheEntry // by client ID
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type cacheEntry struct {
+	layers map[dnn.LayerID]struct{}
+	expiry time.Time
+}
+
+// New creates an edge daemon (not yet serving).
+func New(cfg Config) (*Server, error) {
+	m, err := dnn.ZooModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TTL <= 0 {
+		return nil, errors.New("edged: TTL must be positive")
+	}
+	return &Server{
+		cfg:    cfg,
+		model:  m,
+		gpu:    gpusim.New(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.GPUSeed),
+		start:  time.Now(),
+		cache:  make(map[int]*cacheEntry, 8),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// now returns the daemon's virtual time for the GPU model.
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+// sleep realizes a simulated duration in scaled wall time.
+func (s *Server) sleep(d time.Duration) {
+	if s.cfg.TimeScale <= 0 || d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * s.cfg.TimeScale))
+}
+
+// Serve accepts connections on ln until Close. It returns after the
+// listener fails (normally because Close closed it).
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				s.wg.Wait()
+				return nil
+			default:
+				return fmt.Errorf("edged: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(wire.NewConn(conn))
+		}()
+	}
+}
+
+// Close stops the daemon.
+func (s *Server) Close() error {
+	close(s.closed)
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// handle serves one connection until it errors or closes.
+func (s *Server) handle(c *wire.Conn) {
+	defer func() {
+		if err := c.Close(); err != nil {
+			log.Printf("edged: closing conn: %v", err)
+		}
+	}()
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			return // client went away or timed out
+		}
+		resp := s.dispatch(req)
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func ack(err error) *wire.Envelope {
+	if err != nil {
+		return &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{OK: false, Error: err.Error()}}
+	}
+	return &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{OK: true}}
+}
+
+func (s *Server) dispatch(req *wire.Envelope) *wire.Envelope {
+	switch req.Type {
+	case wire.MsgStatsRequest:
+		st := s.gpu.Sample(s.now())
+		return &wire.Envelope{Type: wire.MsgStatsResponse, Stats: &wire.StatsMsg{Sample: &st}}
+	case wire.MsgUploadLayers:
+		if req.Upload == nil {
+			return ack(errors.New("edged: upload without body"))
+		}
+		return ack(s.upload(req.Upload))
+	case wire.MsgExecRequest:
+		if req.ExecReq == nil {
+			return ack(errors.New("edged: exec without body"))
+		}
+		return s.exec(req.ExecReq)
+	case wire.MsgHasRequest:
+		if req.Has == nil {
+			return ack(errors.New("edged: has without body"))
+		}
+		return s.has(req.Has)
+	case wire.MsgMigrateRequest:
+		if req.Migrate == nil {
+			return ack(errors.New("edged: migrate without body"))
+		}
+		return ack(s.migrate(req.Migrate))
+	default:
+		return ack(fmt.Errorf("edged: unexpected message type %d", req.Type))
+	}
+}
+
+// upload stores declared layers, realizing the transfer time.
+func (s *Server) upload(u *wire.Upload) error {
+	bytes := u.Bytes
+	if bytes <= 0 {
+		bytes = s.layerBytes(u.Layers)
+	}
+	s.sleep(time.Duration(float64(bytes) * 8 / s.cfg.LinkBps * float64(time.Second)))
+	s.addLayers(u.ClientID, u.Layers)
+	return nil
+}
+
+func (s *Server) layerBytes(ids []dnn.LayerID) int64 {
+	var sum int64
+	for _, id := range ids {
+		if id >= 0 && int(id) < s.model.NumLayers() {
+			sum += s.model.Layer(id).WeightBytes
+		}
+	}
+	return sum
+}
+
+func (s *Server) addLayers(client int, ids []dnn.LayerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache[client]
+	if !ok || time.Now().After(e.expiry) {
+		e = &cacheEntry{layers: make(map[dnn.LayerID]struct{}, len(ids))}
+		s.cache[client] = e
+	}
+	for _, id := range ids {
+		e.layers[id] = struct{}{}
+	}
+	e.expiry = time.Now().Add(s.cfg.TTL)
+}
+
+// cachedLayers returns the client's live cached layers.
+func (s *Server) cachedLayers(client int) map[dnn.LayerID]struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache[client]
+	if !ok || time.Now().After(e.expiry) {
+		delete(s.cache, client)
+		return nil
+	}
+	return e.layers
+}
+
+// exec performs the offloaded part of a query under the live GPU load.
+func (s *Server) exec(r *wire.ExecReq) *wire.Envelope {
+	// Input transfer.
+	s.sleep(time.Duration(float64(r.InputBytes) * 8 / s.cfg.LinkBps * float64(time.Second)))
+	s.gpu.Begin(s.now())
+	exec := s.gpu.ExecTime(time.Duration(r.ServerBaseNs), r.Intensity, s.now())
+	s.sleep(exec)
+	s.gpu.End()
+	return &wire.Envelope{Type: wire.MsgExecResponse, ExecResp: &wire.ExecResp{ExecNs: int64(exec)}}
+}
+
+// has filters the asked layers down to those cached.
+func (s *Server) has(h *wire.Has) *wire.Envelope {
+	cached := s.cachedLayers(h.ClientID)
+	present := make([]dnn.LayerID, 0, len(h.Layers))
+	for _, id := range h.Layers {
+		if _, ok := cached[id]; ok {
+			present = append(present, id)
+		}
+	}
+	return &wire.Envelope{Type: wire.MsgHasResponse, Has: &wire.Has{ClientID: h.ClientID, Layers: present}}
+}
+
+// migrate pushes the client's cached subset of the requested layers to a
+// peer edge server ("if the current edge server does not have all of the
+// server-side layers, it sends layers as many as possible").
+func (s *Server) migrate(m *wire.Migrate) error {
+	cached := s.cachedLayers(m.ClientID)
+	if len(cached) == 0 {
+		return nil // nothing to send; not an error
+	}
+	send := make([]dnn.LayerID, 0, len(m.Layers))
+	var bytes int64
+	for _, id := range m.Layers {
+		if _, ok := cached[id]; !ok {
+			continue
+		}
+		w := s.model.Layer(id).WeightBytes
+		if m.CapBytes > 0 && bytes+w > m.CapBytes {
+			break
+		}
+		send = append(send, id)
+		bytes += w
+	}
+	if len(send) == 0 {
+		return nil
+	}
+	peer, err := wire.Dial(m.PeerAddr)
+	if err != nil {
+		return fmt.Errorf("edged: migrating to %s: %w", m.PeerAddr, err)
+	}
+	defer func() {
+		if cerr := peer.Close(); cerr != nil {
+			log.Printf("edged: closing peer conn: %v", cerr)
+		}
+	}()
+	resp, err := peer.RoundTrip(&wire.Envelope{
+		Type:   wire.MsgUploadLayers,
+		Upload: &wire.Upload{ClientID: m.ClientID, Layers: send, Bytes: bytes},
+	})
+	if err != nil {
+		return fmt.Errorf("edged: migrating to %s: %w", m.PeerAddr, err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		return fmt.Errorf("edged: peer %s rejected migration", m.PeerAddr)
+	}
+	return nil
+}

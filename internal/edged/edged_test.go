@@ -1,0 +1,253 @@
+package edged
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/wire"
+)
+
+// startEdge runs an edge daemon on a random port.
+func startEdge(t *testing.T, cfg Config) (string, *Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil {
+			t.Errorf("serve: %v", serr)
+		}
+	}()
+	t.Cleanup(func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Logf("close: %v", cerr)
+		}
+	})
+	return ln.Addr().String(), srv
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig(dnn.ModelMobileNet)
+	cfg.TimeScale = 0 // no sleeping in unit tests
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig("bogus")); err == nil {
+		t.Error("unknown model accepted")
+	}
+	cfg := DefaultConfig(dnn.ModelMobileNet)
+	cfg.TTL = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero TTL accepted")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	addr, _ := startEdge(t, testConfig())
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck // test teardown
+	resp, err := conn.RoundTrip(&wire.Envelope{Type: wire.MsgStatsRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.MsgStatsResponse || resp.Stats == nil || resp.Stats.Sample == nil {
+		t.Fatalf("bad response %+v", resp)
+	}
+	if resp.Stats.Sample.TempC <= 0 {
+		t.Errorf("stats %+v", resp.Stats.Sample)
+	}
+}
+
+func TestUploadHasExec(t *testing.T) {
+	addr, _ := startEdge(t, testConfig())
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck // test teardown
+
+	// Nothing cached initially.
+	resp, err := conn.RoundTrip(&wire.Envelope{
+		Type: wire.MsgHasRequest,
+		Has:  &wire.Has{ClientID: 1, Layers: []dnn.LayerID{0, 1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Has.Layers) != 0 {
+		t.Errorf("cold cache has %v", resp.Has.Layers)
+	}
+
+	// Upload two layers, then check presence.
+	resp, err = conn.RoundTrip(&wire.Envelope{
+		Type:   wire.MsgUploadLayers,
+		Upload: &wire.Upload{ClientID: 1, Layers: []dnn.LayerID{0, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		t.Fatalf("upload rejected: %+v", resp)
+	}
+	resp, err = conn.RoundTrip(&wire.Envelope{
+		Type: wire.MsgHasRequest,
+		Has:  &wire.Has{ClientID: 1, Layers: []dnn.LayerID{0, 1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Has.Layers) != 2 {
+		t.Errorf("cached layers %v, want [0 2]", resp.Has.Layers)
+	}
+	// Another client sees nothing.
+	resp, err = conn.RoundTrip(&wire.Envelope{
+		Type: wire.MsgHasRequest,
+		Has:  &wire.Has{ClientID: 2, Layers: []dnn.LayerID{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Has.Layers) != 0 {
+		t.Error("cache leaked across clients")
+	}
+
+	// Execute some offloaded work.
+	resp, err = conn.RoundTrip(&wire.Envelope{
+		Type:    wire.MsgExecRequest,
+		ExecReq: &wire.ExecReq{ClientID: 1, ServerBaseNs: int64(5 * time.Millisecond), Intensity: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.MsgExecResponse || resp.ExecResp == nil || resp.ExecResp.ExecNs <= 0 {
+		t.Fatalf("bad exec response %+v", resp)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	cfg := testConfig()
+	cfg.TTL = 50 * time.Millisecond
+	addr, _ := startEdge(t, cfg)
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck // test teardown
+	if _, err := conn.RoundTrip(&wire.Envelope{
+		Type:   wire.MsgUploadLayers,
+		Upload: &wire.Upload{ClientID: 1, Layers: []dnn.LayerID{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	resp, err := conn.RoundTrip(&wire.Envelope{
+		Type: wire.MsgHasRequest,
+		Has:  &wire.Has{ClientID: 1, Layers: []dnn.LayerID{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Has.Layers) != 0 {
+		t.Error("layer survived TTL")
+	}
+}
+
+func TestMigrateToPeer(t *testing.T) {
+	addrA, _ := startEdge(t, testConfig())
+	addrB, _ := startEdge(t, testConfig())
+
+	connA, err := wire.Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close() //nolint:errcheck // test teardown
+
+	// Seed A with layers 0..4, then order migration of 0..9 with a cap.
+	if _, err := connA.RoundTrip(&wire.Envelope{
+		Type:   wire.MsgUploadLayers,
+		Upload: &wire.Upload{ClientID: 9, Layers: []dnn.LayerID{0, 1, 2, 3, 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := connA.RoundTrip(&wire.Envelope{
+		Type: wire.MsgMigrateRequest,
+		Migrate: &wire.Migrate{
+			ClientID: 9,
+			Layers:   []dnn.LayerID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+			PeerAddr: addrB,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		t.Fatalf("migrate rejected: %+v", resp)
+	}
+
+	connB, err := wire.Dial(addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close() //nolint:errcheck // test teardown
+	has, err := connB.RoundTrip(&wire.Envelope{
+		Type: wire.MsgHasRequest,
+		Has:  &wire.Has{ClientID: 9, Layers: []dnn.LayerID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the layers A actually had (0..4) arrive at B.
+	if len(has.Has.Layers) != 5 {
+		t.Errorf("B cached %v, want the 5 layers A had", has.Has.Layers)
+	}
+}
+
+func TestMigrateWithNothingCachedIsNoop(t *testing.T) {
+	addrA, _ := startEdge(t, testConfig())
+	connA, err := wire.Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close() //nolint:errcheck // test teardown
+	resp, err := connA.RoundTrip(&wire.Envelope{
+		Type: wire.MsgMigrateRequest,
+		Migrate: &wire.Migrate{
+			ClientID: 1,
+			Layers:   []dnn.LayerID{0},
+			PeerAddr: "127.0.0.1:1", // unreachable, but nothing to send
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		t.Errorf("empty migration should succeed: %+v", resp)
+	}
+}
+
+func TestUnknownMessageAcksError(t *testing.T) {
+	addr, _ := startEdge(t, testConfig())
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck // test teardown
+	resp, err := conn.RoundTrip(&wire.Envelope{Type: wire.MsgPlanRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ack == nil || resp.Ack.OK {
+		t.Errorf("unexpected message not rejected: %+v", resp)
+	}
+}

@@ -1,0 +1,672 @@
+package edgesim
+
+import (
+	"fmt"
+	"time"
+
+	"perdnn/internal/core"
+	"perdnn/internal/dnn"
+	"perdnn/internal/estimator"
+	"perdnn/internal/geo"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/mobility"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+	"perdnn/internal/simnet"
+	"perdnn/internal/trace"
+)
+
+// Mode selects the system variant under test in the city simulation.
+type Mode int
+
+// Simulation modes (Fig 9's three bars).
+const (
+	// ModeIONN is the baseline: no proactive migration, clients upload
+	// from scratch at every server change (hit ratio 0%).
+	ModeIONN Mode = iota + 1
+	// ModePerDNN predicts movement and proactively migrates layers.
+	ModePerDNN
+	// ModeOptimal assumes every layer is always available everywhere
+	// (hit ratio 100%).
+	ModeOptimal
+	// ModeRouting is the alternative of Section III.A the paper sets
+	// aside: after the first upload the client keeps its session with the
+	// original edge server and routes query tensors through the backhaul
+	// from whatever AP it currently sits under. No cold starts after the
+	// first, but every query pays backhaul latency and traffic.
+	ModeRouting
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeIONN:
+		return "IONN"
+	case ModePerDNN:
+		return "PerDNN"
+	case ModeOptimal:
+		return "Optimal"
+	case ModeRouting:
+		return "Routing"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Env holds the per-dataset state shared across simulation runs: the
+// resampled trajectories, the edge-server placement, the trained mobility
+// predictor, and the trained execution-time estimator. Preparing it is
+// expensive; reuse it across models, modes, and radii.
+type Env struct {
+	Dataset   *trace.Dataset
+	Interval  time.Duration
+	Placement *geo.Placement
+	Predictor mobility.Predictor
+	Estimator *estimator.ServerEstimator
+}
+
+// EnvConfig parameterizes PrepareEnv.
+type EnvConfig struct {
+	// Interval is the prediction/movement interval t (20 s in the paper).
+	Interval time.Duration
+	// CellRadius is the hex cell radius (50 m).
+	CellRadius float64
+	// HistoryLen is the trajectory length n (5).
+	HistoryLen int
+	// Seed drives predictor and estimator training.
+	Seed int64
+	// MaxTrainWindows caps SVR training cost (0 = no cap).
+	MaxTrainWindows int
+}
+
+// DefaultEnvConfig matches the paper's simulation settings.
+func DefaultEnvConfig() EnvConfig {
+	return EnvConfig{
+		Interval:        20 * time.Second,
+		CellRadius:      50,
+		HistoryLen:      5,
+		Seed:            1,
+		MaxTrainWindows: 20000,
+	}
+}
+
+// PrepareEnv resamples the dataset, places servers on visited cells, and
+// trains the mobility predictor (linear SVR, the paper's choice) and the
+// GPU execution-time estimator.
+func PrepareEnv(base *trace.Dataset, cfg EnvConfig) (*Env, error) {
+	ds, err := base.Resample(cfg.Interval)
+	if err != nil {
+		return nil, fmt.Errorf("edgesim: preparing env: %w", err)
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(cfg.CellRadius), ds.AllPoints())
+	svr := &mobility.SVR{Seed: cfg.Seed}
+	if err := svr.Fit(capTrain(ds.Train, cfg.MaxTrainWindows), pl, cfg.HistoryLen); err != nil {
+		return nil, fmt.Errorf("edgesim: training predictor: %w", err)
+	}
+	est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("edgesim: training estimator: %w", err)
+	}
+	return &Env{
+		Dataset:   ds,
+		Interval:  cfg.Interval,
+		Placement: pl,
+		Predictor: svr,
+		Estimator: est,
+	}, nil
+}
+
+// capTrain truncates trajectories so the total sample count stays under cap.
+func capTrain(train []trace.Trajectory, cap int) []trace.Trajectory {
+	if cap <= 0 {
+		return train
+	}
+	total := 0
+	for _, tr := range train {
+		total += tr.Len()
+	}
+	if total <= cap {
+		return train
+	}
+	frac := float64(cap) / float64(total)
+	out := make([]trace.Trajectory, 0, len(train))
+	for _, tr := range train {
+		keep := int(float64(tr.Len()) * frac)
+		if keep < 8 {
+			continue
+		}
+		out = append(out, trace.Trajectory{User: tr.User, Interval: tr.Interval, Points: tr.Points[:keep]})
+	}
+	if len(out) == 0 {
+		return train
+	}
+	return out
+}
+
+// CityConfig parameterizes one simulation run.
+type CityConfig struct {
+	Model dnn.ModelName
+	Mode  Mode
+	// Radius is the proactive migration radius r in meters (50 or 100).
+	Radius float64
+	// TTLIntervals is the layer cache lifetime in prediction intervals (5).
+	TTLIntervals int
+	// HistoryLen is the trajectory length n (5).
+	HistoryLen int
+	// QueryGap is the pause between queries (0.5 s).
+	QueryGap time.Duration
+	// Link is the wireless access link; Backhaul the inter-server network.
+	Link     partition.Link
+	Backhaul simnet.Backhaul
+	// GPUParams are the hidden contention constants of every server's GPU.
+	GPUParams gpusim.Params
+	// Seed drives the per-server GPU randomness.
+	Seed int64
+	// MaxSteps truncates playback (0 = full trajectories).
+	MaxSteps int
+	// FractionCapBytes caps migration bytes per crowded server (Fig 10).
+	FractionCapBytes map[geo.ServerID]int64
+	// SharedModelCache treats every client's model as identical and
+	// shareable: one client's uploaded layers serve all. The paper assumes
+	// the opposite ("the model could be personalized and is likely to be
+	// different, thus by default not sharable"); this toggle quantifies
+	// what that assumption costs.
+	SharedModelCache bool
+	// SharedWireless models each AP's wireless medium as shared: a
+	// transfer that starts while k others are active at the same server
+	// takes (k+1) times as long. Off by default, matching the paper's
+	// implicit per-client AP capacity; the ablation shows the effect at
+	// the evaluation's client densities.
+	SharedWireless bool
+}
+
+// DefaultCityConfig returns the paper's settings for a model and mode.
+func DefaultCityConfig(model dnn.ModelName, mode Mode, radius float64) CityConfig {
+	return CityConfig{
+		Model:        model,
+		Mode:         mode,
+		Radius:       radius,
+		TTLIntervals: 5,
+		HistoryLen:   5,
+		QueryGap:     500 * time.Millisecond,
+		Link:         partition.LabWiFi(),
+		Backhaul:     simnet.DefaultBackhaul(),
+		GPUParams:    gpusim.DefaultParams(),
+		Seed:         1,
+	}
+}
+
+// CityResult aggregates one run's metrics.
+type CityResult struct {
+	Model  dnn.ModelName
+	Mode   Mode
+	Radius float64
+
+	// TotalQueries counts every completed query; WindowQueries counts only
+	// queries completed within one interval of connecting to a new server
+	// — the paper's Fig 9 metric ("we only measured the number of queries
+	// executed for a time interval right after a client connects").
+	TotalQueries  int
+	WindowQueries int
+
+	// Connections counts server changes; Hits/Misses/Partials classify
+	// them by cached layers (hit: all server-side layers present; miss:
+	// none). ColdStarts = Misses.
+	Connections int
+	Hits        int
+	Misses      int
+	Partials    int
+
+	// Traffic is the backhaul ledger (proactive migration only).
+	Traffic *simnet.TrafficAccount
+
+	// SumLatency accumulates query latencies for MeanLatency.
+	SumLatency time.Duration
+	// Latency is the query latency distribution.
+	Latency *LatencyHist
+}
+
+// HitRatio returns hits / (hits + misses), the paper's definition.
+func (r *CityResult) HitRatio() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// MeanLatency returns the average query latency.
+func (r *CityResult) MeanLatency() time.Duration {
+	if r.TotalQueries == 0 {
+		return 0
+	}
+	return r.SumLatency / time.Duration(r.TotalQueries)
+}
+
+// simServer is one edge server: a GPU, a layer cache, and its AP's
+// wireless activity.
+type simServer struct {
+	gpu      *gpusim.GPU
+	store    *layerStore
+	wireless int // active transfers on this AP
+}
+
+// simClient is one mobile user's simulation state.
+type simClient struct {
+	id int
+	tr trace.Trajectory
+
+	cur         geo.ServerID
+	home        geo.ServerID // routing mode: the server holding our layers
+	connectedAt time.Duration
+	gen         int // connection generation; stale events check it
+
+	entry   *core.PlanEntry
+	curSet  LayerSet        // layers present for us at the current server
+	pending [][]dnn.LayerID // missing layers to upload, in schedule-unit chunks
+	split   partition.Split // decomposition of the current assignment
+	chain   bool            // a query chain is running
+}
+
+// world wires everything together for one run.
+type world struct {
+	eng     *Engine
+	env     *Env
+	cfg     CityConfig
+	model   *dnn.Model
+	prof    *profile.ModelProfile
+	planner *core.Planner
+	policy  *core.MigrationPolicy
+	servers []*simServer
+	clients []*simClient
+	res     *CityResult
+}
+
+// RunCity executes one large-scale simulation run.
+func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
+	if env == nil {
+		return nil, fmt.Errorf("edgesim: nil env")
+	}
+	if cfg.Mode < ModeIONN || cfg.Mode > ModeRouting {
+		return nil, fmt.Errorf("edgesim: invalid mode %d", int(cfg.Mode))
+	}
+	if cfg.TTLIntervals <= 0 || cfg.HistoryLen <= 0 || cfg.QueryGap <= 0 {
+		return nil, fmt.Errorf("edgesim: bad config: ttl=%d n=%d gap=%v", cfg.TTLIntervals, cfg.HistoryLen, cfg.QueryGap)
+	}
+	m, err := dnn.ZooModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+	planner, err := core.NewPlanner(prof, env.Estimator, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	traffic, err := simnet.NewTrafficAccount(env.Interval)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &world{
+		eng:     NewEngine(),
+		env:     env,
+		cfg:     cfg,
+		model:   m,
+		prof:    prof,
+		planner: planner,
+		servers: make([]*simServer, env.Placement.Len()),
+		clients: make([]*simClient, 0, len(env.Dataset.Test)),
+		res: &CityResult{
+			Model:   cfg.Model,
+			Mode:    cfg.Mode,
+			Radius:  cfg.Radius,
+			Traffic: traffic,
+			Latency: NewLatencyHist(),
+		},
+	}
+	for i := range w.servers {
+		w.servers[i] = &simServer{
+			gpu:   gpusim.New(profile.ServerTitanXp(), cfg.GPUParams, cfg.Seed+int64(i)),
+			store: newLayerStore(m.NumLayers()),
+		}
+	}
+	if cfg.Mode == ModePerDNN {
+		w.policy = &core.MigrationPolicy{
+			Predictor:        env.Predictor,
+			Placement:        env.Placement,
+			Radius:           cfg.Radius,
+			HistoryLen:       cfg.HistoryLen,
+			TTLIntervals:     cfg.TTLIntervals,
+			FractionCapBytes: cfg.FractionCapBytes,
+		}
+		if err := w.policy.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	steps := 0
+	for i, tr := range env.Dataset.Test {
+		c := &simClient{id: i, tr: tr, cur: geo.NoServer, home: geo.NoServer}
+		w.clients = append(w.clients, c)
+		if tr.Len() > steps {
+			steps = tr.Len()
+		}
+	}
+	if cfg.MaxSteps > 0 && steps > cfg.MaxSteps {
+		steps = cfg.MaxSteps
+	}
+
+	// Movement/prediction ticks.
+	for k := 0; k < steps; k++ {
+		step := k
+		w.eng.At(time.Duration(step)*env.Interval, func() { w.tick(step) })
+	}
+	w.eng.Run(time.Duration(steps) * env.Interval)
+	return w.res, nil
+}
+
+// tick advances every client to trajectory step k: movement, reconnection,
+// cache refresh, and (PerDNN) proactive migration.
+func (w *world) tick(k int) {
+	now := w.eng.Now()
+	for _, c := range w.clients {
+		if k >= c.tr.Len() {
+			continue
+		}
+		pos := c.tr.Points[k]
+		sid := w.env.Placement.ServerAt(pos)
+		if sid == geo.NoServer {
+			sid = c.cur // hold the previous attachment in a dead zone
+		}
+		switch {
+		case sid != c.cur && sid != geo.NoServer &&
+			w.cfg.Mode == ModeRouting && c.home != geo.NoServer:
+			// Routing: the client changes APs but keeps its session with
+			// the home server — no cold start, queries pay the backhaul.
+			c.cur = sid
+			c.connectedAt = now
+			w.res.Connections++
+			w.res.Hits++
+			w.servers[c.home].store.touch(now, w.storeKey(c.id), w.ttl())
+		case sid != c.cur && sid != geo.NoServer:
+			w.reconnect(c, sid)
+		case c.cur != geo.NoServer:
+			// Staying: keep our layers warm at the serving server.
+			serving := c.cur
+			if w.cfg.Mode == ModeRouting && c.home != geo.NoServer {
+				serving = c.home
+			}
+			w.servers[serving].store.touch(now, w.storeKey(c.id), w.ttl())
+		}
+
+		if w.policy != nil && c.cur != geo.NoServer && k >= 1 {
+			w.migrate(c, k)
+		}
+	}
+}
+
+func (w *world) ttl() time.Duration {
+	return time.Duration(w.cfg.TTLIntervals) * w.env.Interval
+}
+
+// storeKey maps a client to its layer-cache key; with a shared model cache
+// every client shares one entry per server.
+func (w *world) storeKey(clientID int) int {
+	if w.cfg.SharedModelCache {
+		return -1
+	}
+	return clientID
+}
+
+// transfer schedules `then` after a wireless transfer of duration base to
+// or from server sid. Under SharedWireless the duration stretches by the
+// number of transfers already active on that AP (an approximation of
+// processor sharing: rates are fixed at transfer start).
+func (w *world) transfer(sid geo.ServerID, base time.Duration, then func()) {
+	if base <= 0 || sid == geo.NoServer || !w.cfg.SharedWireless {
+		w.eng.After(base, then)
+		return
+	}
+	srv := w.servers[sid]
+	d := base * time.Duration(srv.wireless+1)
+	srv.wireless++
+	w.eng.After(d, func() {
+		srv.wireless--
+		then()
+	})
+}
+
+// reconnect attaches the client to a new edge server: computes the current
+// partitioning plan from the server's live GPU statistics, classifies the
+// hit/miss state of the cached layers, and restarts the upload and query
+// chains.
+func (w *world) reconnect(c *simClient, sid geo.ServerID) {
+	now := w.eng.Now()
+	c.gen++
+	c.cur = sid
+	c.connectedAt = now
+	srv := w.servers[sid]
+	w.res.Connections++
+
+	entry, err := w.planner.PlanFor(srv.gpu.Sample(now))
+	if err != nil {
+		// Planning failures are programming errors (validated inputs).
+		panic(fmt.Sprintf("edgesim: plan: %v", err))
+	}
+	c.entry = entry
+	planLayers := entry.Plan.ServerLayers()
+
+	c.curSet = NewLayerSet(w.model.NumLayers())
+	switch w.cfg.Mode {
+	case ModeOptimal:
+		c.curSet.AddAll(planLayers)
+		w.res.Hits++
+	case ModeIONN, ModeRouting:
+		// From scratch: the baseline never reuses cached layers, and a
+		// routing client only ever uploads once (to its home).
+		w.res.Misses++
+		c.home = sid
+	case ModePerDNN:
+		cached, ok := srv.store.get(now, w.storeKey(c.id))
+		have := 0
+		if ok {
+			for _, id := range planLayers {
+				if cached.Has(id) {
+					c.curSet.Add(id)
+					have++
+				}
+			}
+		}
+		switch {
+		case len(planLayers) == 0 || have == len(planLayers):
+			w.res.Hits++
+		case have == 0:
+			w.res.Misses++
+		default:
+			w.res.Partials++
+		}
+		srv.store.touch(now, w.storeKey(c.id), w.ttl())
+	}
+
+	// Build the upload queue: schedule-ordered chunks of missing layers.
+	c.pending = c.pending[:0]
+	for _, u := range entry.Schedule {
+		var chunk []dnn.LayerID
+		for _, id := range u.Layers {
+			if !c.curSet.Has(id) {
+				chunk = append(chunk, id)
+			}
+		}
+		if len(chunk) > 0 {
+			c.pending = append(c.pending, chunk)
+		}
+	}
+	c.split = partition.Decompose(w.prof, partition.WithOffloaded(w.model, setToMap(c.curSet, w.model.NumLayers())))
+
+	w.uploadNext(c, c.gen)
+	if !c.chain {
+		c.chain = true
+		w.issueQuery(c)
+	}
+}
+
+// setToMap converts a LayerSet to the map form WithOffloaded consumes.
+func setToMap(s LayerSet, n int) map[dnn.LayerID]bool {
+	out := make(map[dnn.LayerID]bool, n)
+	for i := 0; i < n; i++ {
+		if s.Has(dnn.LayerID(i)) {
+			out[dnn.LayerID(i)] = true
+		}
+	}
+	return out
+}
+
+// uploadNext ships the next missing chunk over the wireless uplink.
+func (w *world) uploadNext(c *simClient, gen int) {
+	if w.cfg.Mode == ModeOptimal || c.gen != gen || len(c.pending) == 0 {
+		return
+	}
+	chunk := c.pending[0]
+	c.pending = c.pending[1:]
+	var bytes int64
+	for _, id := range chunk {
+		bytes += w.model.Layer(id).WeightBytes
+	}
+	sid := c.cur
+	if w.cfg.Mode == ModeRouting && c.home != geo.NoServer {
+		sid = c.home
+	}
+	w.transfer(c.cur, w.cfg.Link.UpTime(bytes), func() {
+		if c.gen != gen {
+			return
+		}
+		w.servers[sid].store.add(w.eng.Now(), w.storeKey(c.id), chunk, w.ttl())
+		c.curSet.AddAll(chunk)
+		c.split = partition.Decompose(w.prof, partition.WithOffloaded(w.model, setToMap(c.curSet, w.model.NumLayers())))
+		w.uploadNext(c, gen)
+	})
+}
+
+// issueQuery runs one DNN query and chains the next one QueryGap after it
+// completes. Exactly one chain runs per client; when the client reconnects
+// mid-query, the in-flight query finishes against the old server and the
+// chain continues under the new connection.
+func (w *world) issueQuery(c *simClient) {
+	now := w.eng.Now()
+	connectedAt := c.connectedAt
+	sp := c.split
+	issue := now
+
+	finish := func(lat time.Duration) {
+		w.res.TotalQueries++
+		w.res.SumLatency += lat
+		w.res.Latency.Add(lat)
+		if issue-connectedAt <= w.env.Interval {
+			w.res.WindowQueries++
+		}
+		w.eng.After(w.cfg.QueryGap, func() { w.issueQuery(c) })
+	}
+
+	if c.cur == geo.NoServer || sp.ServerBase == 0 {
+		// Fully local execution.
+		lat := sp.ClientTime
+		if c.cur == geo.NoServer {
+			lat = w.prof.TotalClientTime()
+		}
+		w.eng.After(lat, func() { finish(w.eng.Now() - issue) })
+		return
+	}
+
+	// Routing mode executes at the home server through the backhaul;
+	// every other mode executes at the client's current server.
+	exec := c.cur
+	var routeUp, routeDown time.Duration
+	if w.cfg.Mode == ModeRouting && c.home != geo.NoServer {
+		exec = c.home
+		if exec != c.cur {
+			routeUp = w.cfg.Backhaul.TransferTime(sp.UpBytes)
+			routeDown = w.cfg.Backhaul.TransferTime(sp.DownBytes)
+			w.res.Traffic.AddUp(c.cur, now, sp.UpBytes)
+			w.res.Traffic.AddDown(exec, now, sp.UpBytes)
+			w.res.Traffic.AddUp(exec, now, sp.DownBytes)
+			w.res.Traffic.AddDown(c.cur, now, sp.DownBytes)
+		}
+	}
+	srv := w.servers[exec]
+	ap := c.cur // the wireless hop is always at the client's current AP
+	w.eng.After(sp.ClientTime, func() {
+		w.transfer(ap, w.cfg.Link.UpTime(sp.UpBytes)+routeUp, func() {
+			srv.gpu.Begin(w.eng.Now())
+			execTime := srv.gpu.ExecTime(sp.ServerBase, sp.Intensity, w.eng.Now())
+			w.eng.After(execTime, func() {
+				srv.gpu.End()
+				w.transfer(ap, w.cfg.Link.DownTime(sp.DownBytes)+routeDown, func() {
+					finish(w.eng.Now() - issue)
+				})
+			})
+		})
+	})
+}
+
+// migrate pushes the client's layers toward its predicted next servers.
+func (w *world) migrate(c *simClient, k int) {
+	now := w.eng.Now()
+	lo := k - w.cfg.HistoryLen + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k + 1
+	if hi > c.tr.Len() {
+		hi = c.tr.Len()
+	}
+	recent := c.tr.Points[lo:hi]
+	targets, ok := w.policy.Targets(recent, c.cur)
+	if !ok {
+		return
+	}
+	src := w.servers[c.cur]
+	srcSet, srcOK := src.store.get(now, w.storeKey(c.id))
+	if !srcOK {
+		return
+	}
+	for _, tid := range targets {
+		dst := w.servers[tid]
+		// Future partitioning plan for the target, from its current GPU
+		// state ("we use the current GPU workloads ... under the
+		// assumption that [they] do not change so abruptly").
+		entry, err := w.planner.PlanFor(dst.gpu.Sample(now))
+		if err != nil {
+			panic(fmt.Sprintf("edgesim: future plan: %v", err))
+		}
+		sched := w.policy.TruncateForTransfer(entry.Schedule, c.cur, tid)
+
+		// Send what the source has and the target lacks, in schedule order.
+		var send []dnn.LayerID
+		var bytes int64
+		dstSet, dstOK := dst.store.get(now, w.storeKey(c.id))
+		for _, u := range sched {
+			for _, id := range u.Layers {
+				if !srcSet.Has(id) {
+					continue
+				}
+				if dstOK && dstSet.Has(id) {
+					continue
+				}
+				send = append(send, id)
+				bytes += w.model.Layer(id).WeightBytes
+			}
+		}
+		// A transfer attempt refreshes the target's TTL even when
+		// everything is already there (duplicate suppression).
+		dst.store.touch(now, w.storeKey(c.id), w.ttl())
+		if bytes == 0 {
+			continue
+		}
+		w.res.Traffic.AddUp(c.cur, now, bytes)
+		w.res.Traffic.AddDown(tid, now, bytes)
+		layers := send
+		key := w.storeKey(c.id)
+		w.eng.After(w.cfg.Backhaul.TransferTime(bytes), func() {
+			dst.store.add(w.eng.Now(), key, layers, w.ttl())
+		})
+	}
+}

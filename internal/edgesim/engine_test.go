@@ -1,0 +1,205 @@
+package edgesim
+
+import (
+	"testing"
+	"time"
+
+	"perdnn/internal/dnn"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3*time.Second, func() { order = append(order, 3) })
+	e.At(time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	e.Run(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 5 {
+			e.After(time.Second, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run(10 * time.Second)
+	if hits != 5 {
+		t.Errorf("hits = %d", hits)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestEngineRunStopsAtLimit(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(5*time.Second, func() { ran = true })
+	e.Run(2 * time.Second)
+	if ran {
+		t.Error("future event ran early")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Run(5 * time.Second)
+	if !ran {
+		t.Error("event never ran")
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Second, func() {})
+	e.Run(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.At(500*time.Millisecond, func() {})
+}
+
+func TestEngineAfterNegativeClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.Run(0)
+	if !ran {
+		t.Error("negative After did not clamp to now")
+	}
+}
+
+func TestLayerSetBasics(t *testing.T) {
+	s := NewLayerSet(130)
+	if s.Count() != 0 {
+		t.Error("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	c := s.Clone()
+	c.Add(5)
+	if s.Has(5) {
+		t.Error("clone shares storage")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestLayerSetBulkOps(t *testing.T) {
+	s := NewLayerSet(100)
+	ids := []dnn.LayerID{1, 2, 50, 99}
+	s.AddAll(ids)
+	if !s.ContainsAll(ids) {
+		t.Error("ContainsAll false after AddAll")
+	}
+	if s.ContainsAll([]dnn.LayerID{1, 3}) {
+		t.Error("ContainsAll true for missing member")
+	}
+	if !s.ContainsAny([]dnn.LayerID{3, 50}) {
+		t.Error("ContainsAny false")
+	}
+	if s.ContainsAny([]dnn.LayerID{3, 4}) {
+		t.Error("ContainsAny true for disjoint set")
+	}
+	other := NewLayerSet(100)
+	other.Add(7)
+	s.Union(other)
+	if !s.Has(7) {
+		t.Error("union failed")
+	}
+}
+
+func TestLayerStoreTTL(t *testing.T) {
+	s := newLayerStore(10)
+	s.add(0, 1, []dnn.LayerID{1, 2}, 10*time.Second)
+	if set, ok := s.get(5*time.Second, 1); !ok || !set.Has(1) {
+		t.Error("layers missing before expiry")
+	}
+	if _, ok := s.get(11*time.Second, 1); ok {
+		t.Error("layers survived TTL")
+	}
+	// Re-adding after expiry starts fresh.
+	s.add(20*time.Second, 1, []dnn.LayerID{3}, 10*time.Second)
+	set, ok := s.get(21*time.Second, 1)
+	if !ok || set.Has(1) || !set.Has(3) {
+		t.Error("expired layers resurrected")
+	}
+}
+
+func TestLayerStoreTouch(t *testing.T) {
+	s := newLayerStore(10)
+	s.add(0, 1, []dnn.LayerID{1}, 10*time.Second)
+	s.touch(8*time.Second, 1, 10*time.Second)
+	if _, ok := s.get(15*time.Second, 1); !ok {
+		t.Error("touch did not extend TTL")
+	}
+	// Touching an expired or absent entry is a no-op.
+	s.touch(60*time.Second, 1, 10*time.Second)
+	if _, ok := s.get(61*time.Second, 1); ok {
+		t.Error("touch resurrected expired entry")
+	}
+	s.touch(0, 99, 10*time.Second)
+}
+
+func TestLayerStoreMissingFrom(t *testing.T) {
+	s := newLayerStore(10)
+	ids := []dnn.LayerID{1, 2, 3}
+	missing := s.missingFrom(0, 1, ids)
+	if len(missing) != 3 {
+		t.Errorf("missing = %v", missing)
+	}
+	s.add(0, 1, []dnn.LayerID{2}, time.Minute)
+	missing = s.missingFrom(time.Second, 1, ids)
+	if len(missing) != 2 || missing[0] != 1 || missing[1] != 3 {
+		t.Errorf("missing = %v", missing)
+	}
+}
+
+func TestLayerStoreResidentBytes(t *testing.T) {
+	m := dnn.MobileNetV1()
+	s := newLayerStore(m.NumLayers())
+	s.add(0, 1, []dnn.LayerID{0}, time.Minute)
+	want := m.Layer(0).WeightBytes
+	if got := s.residentBytes(time.Second, m); got != want {
+		t.Errorf("residentBytes = %d, want %d", got, want)
+	}
+	if got := s.residentBytes(2*time.Minute, m); got != 0 {
+		t.Errorf("residentBytes after expiry = %d", got)
+	}
+}

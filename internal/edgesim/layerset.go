@@ -1,0 +1,86 @@
+package edgesim
+
+import (
+	"math/bits"
+
+	"perdnn/internal/dnn"
+)
+
+// LayerSet is a fixed-capacity bitset over a model's layer IDs. The
+// simulator keeps one per (server, client) pair, so compactness matters.
+type LayerSet struct {
+	words []uint64
+	n     int
+}
+
+// NewLayerSet returns an empty set for a model with n layers.
+func NewLayerSet(n int) LayerSet {
+	return LayerSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Add inserts a layer ID.
+func (s LayerSet) Add(id dnn.LayerID) {
+	s.words[int(id)/64] |= 1 << (uint(id) % 64)
+}
+
+// Has reports membership.
+func (s LayerSet) Has(id dnn.LayerID) bool {
+	return s.words[int(id)/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Count returns the number of members.
+func (s LayerSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear empties the set in place.
+func (s LayerSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s LayerSet) Clone() LayerSet {
+	out := LayerSet{words: make([]uint64, len(s.words)), n: s.n}
+	copy(out.words, s.words)
+	return out
+}
+
+// AddAll inserts every ID in ids.
+func (s LayerSet) AddAll(ids []dnn.LayerID) {
+	for _, id := range ids {
+		s.Add(id)
+	}
+}
+
+// Union merges other into s.
+func (s LayerSet) Union(other LayerSet) {
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// ContainsAll reports whether every ID in ids is in the set.
+func (s LayerSet) ContainsAll(ids []dnn.LayerID) bool {
+	for _, id := range ids {
+		if !s.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAny reports whether any ID in ids is in the set.
+func (s LayerSet) ContainsAny(ids []dnn.LayerID) bool {
+	for _, id := range ids {
+		if s.Has(id) {
+			return true
+		}
+	}
+	return false
+}

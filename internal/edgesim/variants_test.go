@@ -1,0 +1,116 @@
+package edgesim
+
+import (
+	"testing"
+
+	"perdnn/internal/dnn"
+)
+
+// TestRoutingModeAvoidsColdStarts verifies the Section III.A alternative:
+// after the first upload, AP changes are not cold starts, but every roamed
+// query pays backhaul traffic.
+func TestRoutingModeAvoidsColdStarts(t *testing.T) {
+	env := smallEnv(t)
+	cfg := DefaultCityConfig(dnn.ModelResNet, ModeRouting, 0)
+	res, err := RunCity(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each client misses exactly once (the initial upload); every later AP
+	// change is a hit.
+	if res.Misses != len(env.Dataset.Test) {
+		t.Errorf("routing misses = %d, want one per client (%d)", res.Misses, len(env.Dataset.Test))
+	}
+	if res.Hits != res.Connections-res.Misses {
+		t.Errorf("hits %d + misses %d != connections %d", res.Hits, res.Misses, res.Connections)
+	}
+	// Roamed queries generate continuous backhaul traffic.
+	up, down := res.Traffic.TotalBytes()
+	if up == 0 || down == 0 {
+		t.Error("routing generated no backhaul traffic")
+	}
+
+	// The paper's reason for rejecting routing: it is sub-optimal latency.
+	// Mean latency must exceed the optimal mode's (which always executes
+	// at the local server).
+	opt, err := RunCity(env, DefaultCityConfig(dnn.ModelResNet, ModeOptimal, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency() <= opt.MeanLatency() {
+		t.Errorf("routing latency %v not above optimal %v", res.MeanLatency(), opt.MeanLatency())
+	}
+}
+
+// TestRoutingBeatsIONNOnWindowQueries: routing trades backhaul for the
+// absence of cold starts, so its cold-start-window throughput approaches
+// the optimum and beats the re-uploading baseline for big models.
+func TestRoutingBeatsIONNOnWindowQueries(t *testing.T) {
+	env := smallEnv(t)
+	routing, err := RunCity(env, DefaultCityConfig(dnn.ModelResNet, ModeRouting, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ionn, err := RunCity(env, DefaultCityConfig(dnn.ModelResNet, ModeIONN, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routing.WindowQueries <= ionn.WindowQueries {
+		t.Errorf("routing windowQ %d not above IONN %d", routing.WindowQueries, ionn.WindowQueries)
+	}
+}
+
+// TestSharedModelCacheRaisesHits verifies the model-sharing toggle: when
+// every client runs the same shareable model, hit ratios rise because any
+// client's upload serves the rest.
+func TestSharedModelCacheRaisesHits(t *testing.T) {
+	env := smallEnv(t)
+	personal := DefaultCityConfig(dnn.ModelResNet, ModePerDNN, 50)
+	pRes, err := RunCity(env, personal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := personal
+	shared.SharedModelCache = true
+	sRes, err := RunCity(env, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.HitRatio() <= pRes.HitRatio() {
+		t.Errorf("shared cache hit ratio %.2f not above personal %.2f",
+			sRes.HitRatio(), pRes.HitRatio())
+	}
+	// Note: total backhaul can move either way — sharing dedups resends
+	// but also unlocks migrations from sources that would otherwise be
+	// cold — so only the hit ratio is asserted.
+}
+
+// TestSharedWirelessSlowsButPreservesOrdering: AP sharing can only slow
+// transfers down, and at the evaluation's client densities (few clients per
+// AP) the effect on window-query counts must be modest — the validation
+// behind the paper's implicit per-client AP capacity assumption.
+func TestSharedWirelessSlowsButPreservesOrdering(t *testing.T) {
+	env := smallEnv(t)
+	dedicated := DefaultCityConfig(dnn.ModelResNet, ModePerDNN, 100)
+	dRes, err := RunCity(env, dedicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := dedicated
+	shared.SharedWireless = true
+	sRes, err := RunCity(env, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.TotalQueries > dRes.TotalQueries {
+		t.Errorf("AP sharing increased throughput: %d > %d", sRes.TotalQueries, dRes.TotalQueries)
+	}
+	if sRes.MeanLatency() < dRes.MeanLatency() {
+		t.Errorf("AP sharing reduced latency: %v < %v", sRes.MeanLatency(), dRes.MeanLatency())
+	}
+	// At ~10 clients over hundreds of servers, the degradation is small.
+	if float64(sRes.WindowQueries) < float64(dRes.WindowQueries)*0.85 {
+		t.Errorf("AP sharing cost too much at low density: %d vs %d",
+			sRes.WindowQueries, dRes.WindowQueries)
+	}
+}

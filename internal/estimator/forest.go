@@ -1,0 +1,150 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// NumTrees is the ensemble size.
+	NumTrees int
+	// MaxDepth bounds tree depth.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// MaxFeatures is the number of features considered per split; zero
+	// means p/3 (the regression-forest default), minimum one.
+	MaxFeatures int
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+// DefaultForestConfig returns the configuration used for the paper's
+// execution-time estimators.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{NumTrees: 60, MaxDepth: 16, MinLeaf: 3, Seed: 1}
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	trees      []*regTree
+	importance []float64
+	nFeatures  int
+	oobMAE     float64
+}
+
+// TrainForest trains a random forest on rows x with targets y.
+func TrainForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("estimator: bad training set: %d rows, %d targets", len(x), len(y))
+	}
+	p := len(x[0])
+	for r, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("estimator: row %d has %d features, want %d", r, len(row), p)
+		}
+	}
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 60
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 16
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 3
+	}
+	if cfg.MaxFeatures <= 0 {
+		// Regression forests want most features available per split.
+		cfg.MaxFeatures = (2*p + 2) / 3
+	}
+	if cfg.MaxFeatures < 1 {
+		cfg.MaxFeatures = 1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{
+		trees:      make([]*regTree, 0, cfg.NumTrees),
+		importance: make([]float64, p),
+		nFeatures:  p,
+	}
+	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, maxFeatures: cfg.MaxFeatures}
+	boot := make([]int, len(x))
+	inBag := make([]bool, len(x))
+	oobSum := make([]float64, len(x))
+	oobCnt := make([]int, len(x))
+	for t := 0; t < cfg.NumTrees; t++ {
+		for i := range inBag {
+			inBag[i] = false
+		}
+		for i := range boot {
+			boot[i] = rng.Intn(len(x))
+			inBag[boot[i]] = true
+		}
+		tree := buildTree(x, y, boot, tc, rng, f.importance)
+		f.trees = append(f.trees, tree)
+		// Out-of-bag accumulation: samples this tree never saw.
+		for i := range x {
+			if !inBag[i] {
+				oobSum[i] += tree.predict(x[i])
+				oobCnt[i]++
+			}
+		}
+	}
+	// Out-of-bag MAE: an unbiased generalization-error estimate without a
+	// held-out set, computed over samples left out by at least one tree.
+	var errSum float64
+	var errN int
+	for i := range x {
+		if oobCnt[i] > 0 {
+			errSum += absFloat(oobSum[i]/float64(oobCnt[i]) - y[i])
+			errN++
+		}
+	}
+	if errN > 0 {
+		f.oobMAE = errSum / float64(errN)
+	}
+	return f, nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// OOBMAE returns the out-of-bag mean absolute error measured during
+// training — a held-out-free generalization estimate (zero if every sample
+// landed in every bootstrap, which only happens for degenerate sets).
+func (f *Forest) OOBMAE() float64 { return f.oobMAE }
+
+// Predict returns the forest's prediction (mean over trees) for one feature
+// vector. It panics on a feature-count mismatch.
+func (f *Forest) Predict(row []float64) float64 {
+	if len(row) != f.nFeatures {
+		panic(fmt.Sprintf("estimator: predict with %d features, forest has %d", len(row), f.nFeatures))
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.predict(row)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Importance returns the normalized impurity-decrease importance of each
+// feature (summing to 1), the statistic shown on the right of Fig 4.
+func (f *Forest) Importance() []float64 {
+	out := make([]float64, len(f.importance))
+	var total float64
+	for _, v := range f.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range f.importance {
+		out[i] = v / total
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package estimator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ridge is a ridge-regularized least-squares linear model with an intercept.
+type Ridge struct {
+	// Weights holds one coefficient per feature; Intercept is the bias.
+	Weights   []float64
+	Intercept float64
+}
+
+// TrainRidge fits y ≈ X·w + b by solving the regularized normal equations
+// (XᵀX + λI)w = Xᵀy with Gaussian elimination. lambda must be positive; it
+// also keeps the system well-conditioned when features are collinear (as
+// the log-augmented NeuroSurgeon features are).
+func TrainRidge(x [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("estimator: bad training set: %d rows, %d targets", len(x), len(y))
+	}
+	if lambda <= 0 {
+		return nil, errors.New("estimator: ridge lambda must be positive")
+	}
+	p := len(x[0])
+	n := p + 1 // plus intercept column
+
+	// Build the normal equations A w = b where the last column is the
+	// intercept (unregularized).
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	for r, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("estimator: row %d has %d features, want %d", r, len(row), p)
+		}
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][p] += row[i]
+			a[i][n] += row[i] * y[r]
+		}
+		a[p][n] += y[r]
+	}
+	for i := 0; i < p; i++ {
+		a[i][i] += lambda
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+		a[p][i] = a[i][p]
+	}
+	a[p][p] = float64(len(x))
+
+	w, err := solveLinear(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Ridge{Weights: w[:p], Intercept: w[p]}, nil
+}
+
+// Predict returns the model output for one feature vector. It panics on a
+// feature-count mismatch, which is always a caller bug.
+func (r *Ridge) Predict(f []float64) float64 {
+	if len(f) != len(r.Weights) {
+		panic(fmt.Sprintf("estimator: predict with %d features, model has %d", len(f), len(r.Weights)))
+	}
+	out := r.Intercept
+	for i, v := range f {
+		out += r.Weights[i] * v
+	}
+	return out
+}
+
+// scaler standardizes feature vectors to zero mean and unit variance.
+type scaler struct {
+	mean []float64
+	std  []float64
+}
+
+func fitScaler(x [][]float64) *scaler {
+	p := len(x[0])
+	s := &scaler{mean: make([]float64, p), std: make([]float64, p)}
+	n := float64(len(x))
+	for _, row := range x {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1 // constant feature: leave centered at zero
+		}
+	}
+	return s
+}
+
+func (s *scaler) transform(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// ScaledRidge is ridge regression over standardized features and target —
+// the numerically robust variant used by the NeuroSurgeon-style baselines,
+// whose raw features span six orders of magnitude.
+type ScaledRidge struct {
+	scaler *scaler
+	ridge  *Ridge
+	yMean  float64
+	yStd   float64
+}
+
+// TrainScaledRidge standardizes x and y, then fits ridge regression.
+func TrainScaledRidge(x [][]float64, y []float64, lambda float64) (*ScaledRidge, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("estimator: bad training set: %d rows, %d targets", len(x), len(y))
+	}
+	s := fitScaler(x)
+	xs := make([][]float64, len(x))
+	for i, row := range x {
+		xs[i] = s.transform(row)
+	}
+	var yMean float64
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(len(y))
+	var yVar float64
+	for _, v := range y {
+		d := v - yMean
+		yVar += d * d
+	}
+	yStd := math.Sqrt(yVar / float64(len(y)))
+	if yStd < 1e-15 {
+		yStd = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - yMean) / yStd
+	}
+	r, err := TrainRidge(xs, ys, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &ScaledRidge{scaler: s, ridge: r, yMean: yMean, yStd: yStd}, nil
+}
+
+// Predict returns the model output for one raw feature vector.
+func (m *ScaledRidge) Predict(f []float64) float64 {
+	return m.ridge.Predict(m.scaler.transform(f))*m.yStd + m.yMean
+}
+
+// solveLinear solves the augmented system a·w = a[:, last] in place using
+// Gaussian elimination with partial pivoting.
+func solveLinear(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("estimator: singular system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := a[r][n]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * w[c]
+		}
+		w[r] = sum / a[r][r]
+	}
+	return w, nil
+}

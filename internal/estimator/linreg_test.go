@@ -1,0 +1,125 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRidgeRecoversLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueW := []float64{2.5, -1.0, 0.5}
+	const b = 3.0
+	x := make([][]float64, 0, 300)
+	y := make([]float64, 0, 300)
+	for i := 0; i < 300; i++ {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		t := b
+		for j, w := range trueW {
+			t += w * row[j]
+		}
+		x = append(x, row)
+		y = append(y, t+rng.NormFloat64()*0.01)
+	}
+	m, err := TrainRidge(x, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range trueW {
+		if math.Abs(m.Weights[j]-w) > 0.05 {
+			t.Errorf("weight %d = %v, want %v", j, m.Weights[j], w)
+		}
+	}
+	if math.Abs(m.Intercept-b) > 0.05 {
+		t.Errorf("intercept = %v, want %v", m.Intercept, b)
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if _, err := TrainRidge(nil, nil, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainRidge([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TrainRidge([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := TrainRidge([][]float64{{1, 2}, {1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestRidgePredictPanicsOnMismatch(t *testing.T) {
+	m, err := TrainRidge([][]float64{{1, 2}, {2, 1}, {0, 1}}, []float64{1, 2, 3}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestRidgeHandlesCollinearFeatures(t *testing.T) {
+	// Duplicate feature columns would make plain least squares singular;
+	// ridge regularization must handle them.
+	rng := rand.New(rand.NewSource(2))
+	x := make([][]float64, 0, 100)
+	y := make([]float64, 0, 100)
+	for i := 0; i < 100; i++ {
+		v := rng.NormFloat64()
+		x = append(x, []float64{v, v})
+		y = append(y, 3*v)
+	}
+	m, err := TrainRidge(x, y, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{1, 1})
+	if math.Abs(got-3) > 0.1 {
+		t.Errorf("predict = %v, want 3", got)
+	}
+}
+
+// Property: ridge prediction on the training mean input stays near the
+// training mean output for well-scaled random linear problems.
+func TestRidgeMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([][]float64, 0, 60)
+		y := make([]float64, 0, 60)
+		var sumY, sumX0, sumX1 float64
+		for i := 0; i < 60; i++ {
+			row := []float64{rng.Float64() * 4, rng.Float64() * 4}
+			target := 1 + 2*row[0] - row[1] + rng.NormFloat64()*0.1
+			x = append(x, row)
+			y = append(y, target)
+			sumY += target
+			sumX0 += row[0]
+			sumX1 += row[1]
+		}
+		m, err := TrainRidge(x, y, 1e-6)
+		if err != nil {
+			return false
+		}
+		pred := m.Predict([]float64{sumX0 / 60, sumX1 / 60})
+		return math.Abs(pred-sumY/60) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 1, 2},
+		{2, 2, 4},
+	}
+	if _, err := solveLinear(a); err == nil {
+		t.Error("singular system solved")
+	}
+}

@@ -1,0 +1,134 @@
+package estimator
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perdnn/internal/profile"
+)
+
+// The paper trains each edge server's execution-time estimator offline
+// (Section III.C.1); this file provides the persistence that implies: a
+// trained random forest — and the slowdown estimator wrapping it — can be
+// written to disk and loaded by a daemon at startup without retraining.
+
+// forestJSON is the wire form of a Forest.
+type forestJSON struct {
+	NFeatures  int          `json:"nFeatures"`
+	Importance []float64    `json:"importance"`
+	OOBMAE     float64      `json:"oobMAE"`
+	Trees      [][]nodeJSON `json:"trees"`
+}
+
+type nodeJSON struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int32   `json:"l"`
+	Right     int32   `json:"r"`
+	Value     float64 `json:"v"`
+}
+
+// WriteJSON serializes the trained forest.
+func (f *Forest) WriteJSON(w io.Writer) error {
+	out := forestJSON{
+		NFeatures:  f.nFeatures,
+		Importance: f.importance,
+		OOBMAE:     f.oobMAE,
+		Trees:      make([][]nodeJSON, 0, len(f.trees)),
+	}
+	for _, t := range f.trees {
+		nodes := make([]nodeJSON, 0, len(t.nodes))
+		for _, n := range t.nodes {
+			nodes = append(nodes, nodeJSON{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right, Value: n.value,
+			})
+		}
+		out.Trees = append(out.Trees, nodes)
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("estimator: encoding forest: %w", err)
+	}
+	return nil
+}
+
+// ReadForestJSON deserializes and validates a forest written by WriteJSON.
+func ReadForestJSON(r io.Reader) (*Forest, error) {
+	var in forestJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("estimator: decoding forest: %w", err)
+	}
+	if in.NFeatures <= 0 || len(in.Trees) == 0 {
+		return nil, fmt.Errorf("estimator: loaded forest is empty")
+	}
+	f := &Forest{
+		nFeatures:  in.NFeatures,
+		importance: in.Importance,
+		oobMAE:     in.OOBMAE,
+		trees:      make([]*regTree, 0, len(in.Trees)),
+	}
+	if len(f.importance) != in.NFeatures {
+		return nil, fmt.Errorf("estimator: importance length %d != features %d", len(f.importance), in.NFeatures)
+	}
+	for ti, nodes := range in.Trees {
+		t := &regTree{nodes: make([]treeNode, 0, len(nodes))}
+		for ni, n := range nodes {
+			if n.Left >= 0 {
+				// Internal node: children must be in range and forward.
+				if int(n.Left) >= len(nodes) || int(n.Right) >= len(nodes) ||
+					n.Left <= int32(ni) || n.Right <= int32(ni) {
+					return nil, fmt.Errorf("estimator: tree %d node %d has bad children", ti, ni)
+				}
+				if n.Feature < 0 || n.Feature >= in.NFeatures {
+					return nil, fmt.Errorf("estimator: tree %d node %d has bad feature %d", ti, ni, n.Feature)
+				}
+			}
+			t.nodes = append(t.nodes, treeNode{
+				feature: n.Feature, threshold: n.Threshold,
+				left: n.Left, right: n.Right, value: n.Value,
+			})
+		}
+		if len(t.nodes) == 0 {
+			return nil, fmt.Errorf("estimator: tree %d is empty", ti)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// serverEstimatorJSON is the wire form of a ServerEstimator.
+type serverEstimatorJSON struct {
+	Device profile.Device  `json:"device"`
+	Forest json.RawMessage `json:"forest"`
+}
+
+// WriteJSON serializes a trained server estimator.
+func (e *ServerEstimator) WriteJSON(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := e.forest.WriteJSON(&buf); err != nil {
+		return err
+	}
+	out := serverEstimatorJSON{Device: e.dev, Forest: json.RawMessage(buf.Bytes())}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("estimator: encoding server estimator: %w", err)
+	}
+	return nil
+}
+
+// ReadServerEstimatorJSON loads a server estimator written by WriteJSON.
+func ReadServerEstimatorJSON(r io.Reader) (*ServerEstimator, error) {
+	var in serverEstimatorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("estimator: decoding server estimator: %w", err)
+	}
+	if in.Device.GFLOPS <= 0 || in.Device.MemGBps <= 0 {
+		return nil, fmt.Errorf("estimator: loaded estimator has invalid device %+v", in.Device)
+	}
+	f, err := ReadForestJSON(bytes.NewReader(in.Forest))
+	if err != nil {
+		return nil, err
+	}
+	return &ServerEstimator{dev: in.Device, forest: f}, nil
+}

@@ -1,0 +1,81 @@
+package estimator
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perdnn/internal/gpusim"
+	"perdnn/internal/profile"
+)
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	x, y := makeNonlinear(21, 300)
+	f, err := TrainForest(x, y, ForestConfig{NumTrees: 8, MaxDepth: 8, MinLeaf: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForestJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be bit-identical.
+	for i := 0; i < 50; i++ {
+		if a, b := f.Predict(x[i]), got.Predict(x[i]); a != b {
+			t.Fatalf("prediction %d differs: %v vs %v", i, a, b)
+		}
+	}
+	ia, ib := f.Importance(), got.Importance()
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("importance %d differs", i)
+		}
+	}
+}
+
+func TestReadForestJSONRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "nope"},
+		{"empty", `{"nFeatures":0,"importance":[],"trees":[]}`},
+		{"importance mismatch", `{"nFeatures":2,"importance":[1],"trees":[[{"f":0,"t":0,"l":-1,"r":-1,"v":1}]]}`},
+		{"backward child", `{"nFeatures":1,"importance":[1],"trees":[[{"f":0,"t":0,"l":0,"r":0,"v":1}]]}`},
+		{"out of range child", `{"nFeatures":1,"importance":[1],"trees":[[{"f":0,"t":0,"l":5,"r":6,"v":1}]]}`},
+		{"bad feature", `{"nFeatures":1,"importance":[1],"trees":[[{"f":7,"t":0,"l":1,"r":2,"v":1},{"f":0,"t":0,"l":-1,"r":-1,"v":1},{"f":0,"t":0,"l":-1,"r":-1,"v":1}]]}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadForestJSON(strings.NewReader(tc.data)); err == nil {
+				t.Error("invalid forest accepted")
+			}
+		})
+	}
+}
+
+func TestServerEstimatorJSONRoundTrip(t *testing.T) {
+	est, err := TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServerEstimatorJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := gpusim.Stats{ActiveClients: 8, KernelUtil: 0.6, MemUtil: 0.3, MemUsedMB: 6000, TempC: 75}
+	if a, b := est.EstimateSlowdown(st), got.EstimateSlowdown(st); a != b {
+		t.Fatalf("slowdown differs after round trip: %v vs %v", a, b)
+	}
+	if _, err := ReadServerEstimatorJSON(strings.NewReader(`{"device":{},"forest":{}}`)); err == nil {
+		t.Error("invalid estimator accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package estimator
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART regression tree, stored in a flat slice.
+// Leaves have left == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int32
+	right     int32
+	value     float64
+}
+
+// regTree is a CART regression tree trained by recursive variance-reduction
+// splitting.
+type regTree struct {
+	nodes []treeNode
+}
+
+// treeConfig controls regression-tree growth.
+type treeConfig struct {
+	maxDepth    int
+	minLeaf     int
+	maxFeatures int // features considered per split
+}
+
+// buildTree grows a tree on the rows of x indexed by idx. importance
+// accumulates the total variance reduction attributed to each feature.
+func buildTree(x [][]float64, y []float64, idx []int, cfg treeConfig, rng *rand.Rand, importance []float64) *regTree {
+	t := &regTree{nodes: make([]treeNode, 0, 2*len(idx)/cfg.minLeaf+1)}
+	t.grow(x, y, idx, 0, cfg, rng, importance)
+	return t
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// sse returns the sum of squared errors around the mean of y[idx].
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	var s float64
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+// grow appends the subtree for idx and returns its node index.
+func (t *regTree) grow(x [][]float64, y []float64, idx []int, depth int, cfg treeConfig, rng *rand.Rand, importance []float64) int32 {
+	node := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{left: -1, value: mean(y, idx)})
+
+	if depth >= cfg.maxDepth || len(idx) < 2*cfg.minLeaf {
+		return node
+	}
+	parentSSE := sse(y, idx)
+	if parentSSE <= 1e-18 {
+		return node
+	}
+
+	p := len(x[0])
+	bestFeature, bestThreshold, bestGain := -1, 0.0, 0.0
+	var bestLeft, bestRight []int
+
+	// Candidate features: a random subset of size maxFeatures.
+	feats := rng.Perm(p)
+	if cfg.maxFeatures < len(feats) {
+		feats = feats[:cfg.maxFeatures]
+	}
+
+	sorted := make([]int, len(idx))
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return x[sorted[a]][f] < x[sorted[b]][f] })
+
+		// Prefix sums over the sorted order for O(n) split scanning.
+		var sumL, sumSqL float64
+		var sumT, sumSqT float64
+		for _, i := range sorted {
+			sumT += y[i]
+			sumSqT += y[i] * y[i]
+		}
+		for k := 0; k < len(sorted)-1; k++ {
+			yi := y[sorted[k]]
+			sumL += yi
+			sumSqL += yi * yi
+			// Cannot split between equal feature values.
+			if x[sorted[k]][f] == x[sorted[k+1]][f] {
+				continue
+			}
+			nL, nR := float64(k+1), float64(len(sorted)-k-1)
+			if int(nL) < cfg.minLeaf || int(nR) < cfg.minLeaf {
+				continue
+			}
+			sumR := sumT - sumL
+			sumSqR := sumSqT - sumSqL
+			sseL := sumSqL - sumL*sumL/nL
+			sseR := sumSqR - sumR*sumR/nR
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (x[sorted[k]][f] + x[sorted[k+1]][f]) / 2
+				bestLeft = append(bestLeft[:0], sorted[:k+1]...)
+				bestRight = append(bestRight[:0], sorted[k+1:]...)
+			}
+		}
+	}
+
+	if bestFeature < 0 {
+		return node
+	}
+	importance[bestFeature] += bestGain
+
+	// Children reference copies because bestLeft/bestRight share backing.
+	left := make([]int, len(bestLeft))
+	copy(left, bestLeft)
+	right := make([]int, len(bestRight))
+	copy(right, bestRight)
+
+	t.nodes[node].feature = bestFeature
+	t.nodes[node].threshold = bestThreshold
+	l := t.grow(x, y, left, depth+1, cfg, rng, importance)
+	r := t.grow(x, y, right, depth+1, cfg, rng, importance)
+	t.nodes[node].left = l
+	t.nodes[node].right = r
+	return node
+}
+
+// predict walks the tree for one feature vector.
+func (t *regTree) predict(f []float64) float64 {
+	n := int32(0)
+	for {
+		nd := &t.nodes[n]
+		if nd.left < 0 {
+			return nd.value
+		}
+		if f[nd.feature] <= nd.threshold {
+			n = nd.left
+		} else {
+			n = nd.right
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{X: 3, Y: 4}
+	q := Point{X: 1, Y: 2}
+	if got := p.Add(q); got != (Point{X: 4, Y: 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{X: 2, Y: 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{X: 6, Y: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := (Point{}).Dist(p); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p := Point{X: 0, Y: 0}
+	q := Point{X: 10, Y: 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{X: 5, Y: 10}) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(100, 50)
+	if !r.Contains(Point{X: 50, Y: 25}) {
+		t.Error("center should be contained")
+	}
+	if r.Contains(Point{X: -1, Y: 0}) {
+		t.Error("outside point contained")
+	}
+	if got := r.Clamp(Point{X: 200, Y: -10}); got != (Point{X: 100, Y: 0}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if r.Width() != 100 || r.Height() != 50 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if got := r.Center(); got != (Point{X: 50, Y: 25}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestHexGridRoundTrip(t *testing.T) {
+	g := NewHexGrid(50)
+	// The center of every cell must map back to that cell.
+	for q := -10; q <= 10; q++ {
+		for r := -10; r <= 10; r++ {
+			c := HexCell{Q: q, R: r}
+			if got := g.CellAt(g.Center(c)); got != c {
+				t.Fatalf("CellAt(Center(%v)) = %v", c, got)
+			}
+		}
+	}
+}
+
+func TestHexGridCellAtProperty(t *testing.T) {
+	g := NewHexGrid(50)
+	// Property: every point maps to the cell whose center is nearest
+	// (hex cells are the Voronoi regions of their centers).
+	f := func(xRaw, yRaw int16) bool {
+		p := Point{X: float64(xRaw) / 10, Y: float64(yRaw) / 10}
+		c := g.CellAt(p)
+		dc := p.Dist(g.Center(c))
+		for _, n := range g.Neighbors(c) {
+			if p.Dist(g.Center(n)) < dc-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexGridPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive radius")
+		}
+	}()
+	NewHexGrid(0)
+}
+
+func TestCellDist(t *testing.T) {
+	a := HexCell{Q: 0, R: 0}
+	tests := []struct {
+		b    HexCell
+		want int
+	}{
+		{HexCell{Q: 0, R: 0}, 0},
+		{HexCell{Q: 1, R: 0}, 1},
+		{HexCell{Q: 0, R: -1}, 1},
+		{HexCell{Q: 2, R: -1}, 2},
+		{HexCell{Q: -3, R: 3}, 3},
+	}
+	for _, tc := range tests {
+		if got := CellDist(a, tc.b); got != tc.want {
+			t.Errorf("CellDist(%v,%v) = %d, want %d", a, tc.b, got, tc.want)
+		}
+		if got := CellDist(tc.b, a); got != tc.want {
+			t.Errorf("CellDist not symmetric for %v", tc.b)
+		}
+	}
+}
+
+func TestNeighborsAreDistanceOne(t *testing.T) {
+	c := HexCell{Q: 3, R: -2}
+	ns := NewHexGrid(50).Neighbors(c)
+	if len(ns) != 6 {
+		t.Fatalf("got %d neighbors, want 6", len(ns))
+	}
+	for _, n := range ns {
+		if CellDist(c, n) != 1 {
+			t.Errorf("neighbor %v at distance %d", n, CellDist(c, n))
+		}
+	}
+}
+
+func TestPlacementAllocatesPerVisitedCell(t *testing.T) {
+	g := NewHexGrid(50)
+	// Three points: two in the same cell, one in another.
+	c0 := g.Center(HexCell{Q: 0, R: 0})
+	c1 := g.Center(HexCell{Q: 3, R: 1})
+	pl := NewPlacement(g, []Point{c0, c0.Add(Point{X: 1, Y: 1}), c1})
+	if pl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", pl.Len())
+	}
+	if pl.ServerAt(c0) == NoServer {
+		t.Error("no server at first visited cell")
+	}
+	if pl.ServerAt(c1) == NoServer {
+		t.Error("no server at second visited cell")
+	}
+	far := g.Center(HexCell{Q: 20, R: 20})
+	if pl.ServerAt(far) != NoServer {
+		t.Error("server allocated in unvisited cell")
+	}
+}
+
+func TestPlacementDeterministicIDs(t *testing.T) {
+	g := NewHexGrid(50)
+	pts := []Point{{X: 0, Y: 0}, {X: 500, Y: 500}, {X: 900, Y: 100}}
+	a := NewPlacement(g, pts)
+	// Same points in a different order must produce the same ID mapping.
+	b := NewPlacement(g, []Point{pts[2], pts[0], pts[1]})
+	for _, p := range pts {
+		if a.ServerAt(p) != b.ServerAt(p) {
+			t.Errorf("nondeterministic server ID at %v: %d vs %d", p, a.ServerAt(p), b.ServerAt(p))
+		}
+	}
+}
+
+func TestPlacementNearestOrder(t *testing.T) {
+	g := NewHexGrid(50)
+	pts := []Point{{X: 0, Y: 0}, {X: 300, Y: 0}, {X: 600, Y: 0}}
+	pl := NewPlacement(g, pts)
+	near := pl.Nearest(Point{X: 10, Y: 0}, 3)
+	if len(near) != 3 {
+		t.Fatalf("Nearest returned %d", len(near))
+	}
+	d0 := pl.Center(near[0]).Dist(Point{X: 10, Y: 0})
+	for i := 1; i < len(near); i++ {
+		di := pl.Center(near[i]).Dist(Point{X: 10, Y: 0})
+		if di < d0 {
+			t.Errorf("Nearest not sorted: %v then %v", d0, di)
+		}
+		d0 = di
+	}
+	if got := pl.Nearest(Point{}, 0); got != nil {
+		t.Errorf("Nearest(k=0) = %v, want nil", got)
+	}
+	if got := pl.Nearest(Point{}, 99); len(got) != pl.Len() {
+		t.Errorf("Nearest(k>n) returned %d, want %d", len(got), pl.Len())
+	}
+}
+
+func TestPlacementWithin(t *testing.T) {
+	g := NewHexGrid(50)
+	pts := []Point{{X: 0, Y: 0}, {X: 300, Y: 0}, {X: 2000, Y: 2000}}
+	pl := NewPlacement(g, pts)
+	in := pl.Within(Point{X: 0, Y: 0}, 400)
+	if len(in) != 2 {
+		t.Fatalf("Within = %d servers, want 2", len(in))
+	}
+	for _, id := range in {
+		if pl.Center(id).Dist(Point{}) > 400 {
+			t.Errorf("server %d outside radius", id)
+		}
+	}
+	if got := pl.Within(Point{X: -5000, Y: -5000}, 10); len(got) != 0 {
+		t.Errorf("Within empty region = %v", got)
+	}
+}
+
+func TestPlacementWithinSubsetOfNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewHexGrid(50)
+	pts := make([]Point, 0, 200)
+	for i := 0; i < 200; i++ {
+		pts = append(pts, Point{X: rng.Float64() * 2000, Y: rng.Float64() * 2000})
+	}
+	pl := NewPlacement(g, pts)
+	for trial := 0; trial < 50; trial++ {
+		p := Point{X: rng.Float64() * 2000, Y: rng.Float64() * 2000}
+		within := pl.Within(p, 150)
+		nearest := pl.Nearest(p, len(within))
+		// The set of servers within r, ordered by distance, must equal the
+		// |within| nearest servers.
+		for i := range within {
+			if within[i] != nearest[i] {
+				t.Fatalf("Within/Nearest disagree at %v: %v vs %v", p, within, nearest)
+			}
+		}
+	}
+}
+
+func TestPlacementCenterPanicsOutOfRange(t *testing.T) {
+	pl := NewPlacement(NewHexGrid(50), []Point{{}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range id")
+		}
+	}()
+	pl.Center(ServerID(5))
+}
+
+func TestPlacementCentersCopy(t *testing.T) {
+	pl := NewPlacement(NewHexGrid(50), []Point{{}, {X: 500, Y: 500}})
+	cs := pl.Centers()
+	cs[0] = Point{X: math.Inf(1), Y: 0}
+	if pl.Center(0).X == math.Inf(1) {
+		t.Error("Centers leaked internal slice")
+	}
+}

@@ -1,0 +1,204 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ServerID identifies an edge server within a deployment. IDs are dense
+// small integers assigned at placement time; they index directly into the
+// simulator's server tables.
+type ServerID int
+
+// NoServer is returned by lookups that find no server in range.
+const NoServer ServerID = -1
+
+// Placement is an immutable set of edge servers placed at the centers of
+// hexagonal grid cells. It answers the three spatial queries PerDNN needs:
+//
+//   - ServerAt: which server's cell contains a client (its current server),
+//   - Nearest: the k servers closest to a predicted location (Table III's
+//     top-k evaluation),
+//   - Within: every server within r meters of a predicted location (the
+//     proactive-migration fan-out of Section III.C.2).
+type Placement struct {
+	grid    *HexGrid
+	centers []Point
+	byCell  map[HexCell]ServerID
+}
+
+// NewPlacement allocates one server per distinct grid cell that contains at
+// least one of the given visited points, mirroring the paper's "allocate an
+// edge server to a cell which had been visited by any user" rule. Server IDs
+// are assigned deterministically in row-major cell order.
+func NewPlacement(grid *HexGrid, visited []Point) *Placement {
+	if grid == nil {
+		panic("geo: NewPlacement requires a grid")
+	}
+	seen := make(map[HexCell]struct{})
+	cells := make([]HexCell, 0, 64)
+	for _, p := range visited {
+		c := grid.CellAt(p)
+		if _, ok := seen[c]; ok {
+			continue
+		}
+		seen[c] = struct{}{}
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].R != cells[j].R {
+			return cells[i].R < cells[j].R
+		}
+		return cells[i].Q < cells[j].Q
+	})
+	pl := &Placement{
+		grid:    grid,
+		centers: make([]Point, 0, len(cells)),
+		byCell:  make(map[HexCell]ServerID, len(cells)),
+	}
+	for i, c := range cells {
+		pl.byCell[c] = ServerID(i)
+		pl.centers = append(pl.centers, grid.Center(c))
+	}
+	return pl
+}
+
+// Len returns the number of placed servers.
+func (pl *Placement) Len() int { return len(pl.centers) }
+
+// Grid returns the underlying hexagonal grid.
+func (pl *Placement) Grid() *HexGrid { return pl.grid }
+
+// Center returns the location of server id. It panics on an out-of-range id
+// because that always indicates a programming error, never bad input.
+func (pl *Placement) Center(id ServerID) Point {
+	if id < 0 || int(id) >= len(pl.centers) {
+		panic(fmt.Sprintf("geo: server id %d out of range [0,%d)", id, len(pl.centers)))
+	}
+	return pl.centers[id]
+}
+
+// ServerAt returns the server whose cell contains p, or NoServer if the cell
+// has no allocated server (the client is outside all service areas).
+func (pl *Placement) ServerAt(p Point) ServerID {
+	id, ok := pl.byCell[pl.grid.CellAt(p)]
+	if !ok {
+		return NoServer
+	}
+	return id
+}
+
+type cand struct {
+	id ServerID
+	d  float64
+}
+
+func sortCands(cands []cand) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+}
+
+// ringCells returns the cells at exactly hex distance r from center.
+func ringCells(center HexCell, r int) []HexCell {
+	if r == 0 {
+		return []HexCell{center}
+	}
+	dirs := [6]HexCell{
+		{Q: 1, R: 0}, {Q: 1, R: -1}, {Q: 0, R: -1},
+		{Q: -1, R: 0}, {Q: -1, R: 1}, {Q: 0, R: 1},
+	}
+	out := make([]HexCell, 0, 6*r)
+	// Start at center + r steps in direction 4, then walk each side.
+	c := HexCell{Q: center.Q + dirs[4].Q*r, R: center.R + dirs[4].R*r}
+	for side := 0; side < 6; side++ {
+		for step := 0; step < r; step++ {
+			out = append(out, c)
+			c = HexCell{Q: c.Q + dirs[side].Q, R: c.R + dirs[side].R}
+		}
+	}
+	return out
+}
+
+// Nearest returns the k servers nearest to p, closest first, using an
+// expanding hex-ring search around p's cell. If fewer than k servers exist,
+// all of them are returned.
+func (pl *Placement) Nearest(p Point, k int) []ServerID {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(pl.centers) {
+		k = len(pl.centers)
+	}
+	center := pl.grid.CellAt(p)
+	// Cells at hex distance r have centers at least (1.5r - 1)R from any
+	// point inside the center cell, so once the kth-best candidate beats
+	// that bound the search can stop.
+	cands := make([]cand, 0, k+8)
+	found := 0
+	for r := 0; ; r++ {
+		if found >= len(pl.centers) {
+			break
+		}
+		if len(cands) >= k {
+			sortCands(cands)
+			bound := (1.5*float64(r) - 1) * pl.grid.Radius
+			if cands[k-1].d < bound {
+				break
+			}
+		}
+		for _, c := range ringCells(center, r) {
+			if id, ok := pl.byCell[c]; ok {
+				cands = append(cands, cand{id: id, d: p.Dist(pl.centers[id])})
+				found++
+			}
+		}
+	}
+	sortCands(cands)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]ServerID, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// Within returns every server whose center lies within radius meters of p,
+// closest first, using a bounded hex-ring search. This is the
+// proactive-migration target set: "the master server applies the same
+// partitioning algorithm to the edge servers within a certain distance
+// (50 m or 100 m) from the predicted location".
+func (pl *Placement) Within(p Point, radius float64) []ServerID {
+	center := pl.grid.CellAt(p)
+	maxRing := int((radius+2*pl.grid.Radius)/(1.5*pl.grid.Radius)) + 1
+	cands := make([]cand, 0, 8)
+	for r := 0; r <= maxRing; r++ {
+		for _, c := range ringCells(center, r) {
+			id, ok := pl.byCell[c]
+			if !ok {
+				continue
+			}
+			if d := p.Dist(pl.centers[id]); d <= radius {
+				cands = append(cands, cand{id: id, d: d})
+			}
+		}
+	}
+	sortCands(cands)
+	out := make([]ServerID, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// Centers returns a copy of all server locations indexed by ServerID.
+func (pl *Placement) Centers() []Point {
+	out := make([]Point, len(pl.centers))
+	copy(out, pl.centers)
+	return out
+}

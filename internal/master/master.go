@@ -1,0 +1,401 @@
+// Package master implements the live master-server daemon: it tracks
+// clients' DNN profiles and trajectories, answers plan requests by pinging
+// the target edge server for GPU statistics and running the GPU-aware
+// partitioner, and periodically predicts client movement to order proactive
+// layer migrations between edge daemons (Section III.B).
+package master
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"perdnn/internal/core"
+	"perdnn/internal/dnn"
+	"perdnn/internal/estimator"
+	"perdnn/internal/geo"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/mobility"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+	"perdnn/internal/wire"
+)
+
+// EdgeInfo describes one edge server the master orchestrates.
+type EdgeInfo struct {
+	ID       geo.ServerID
+	Addr     string
+	Location geo.Point
+}
+
+// Config parameterizes the master daemon.
+type Config struct {
+	// Edges are the managed edge servers.
+	Edges []EdgeInfo
+	// CellRadius sizes the service cells (50 m).
+	CellRadius float64
+	// Radius is the proactive-migration radius r.
+	Radius float64
+	// HistoryLen is the trajectory length n.
+	HistoryLen int
+	// Link prices client-edge transfers inside plans.
+	Link partition.Link
+	// EstimatorSeed seeds the offline estimator training.
+	EstimatorSeed int64
+	// Estimator, when non-nil, is used instead of training one at startup
+	// (load it from perdnn-estimator's JSON output).
+	Estimator *estimator.ServerEstimator
+}
+
+// DefaultConfig returns the paper's parameters for a given edge set.
+func DefaultConfig(edges []EdgeInfo) Config {
+	return Config{
+		Edges:         edges,
+		CellRadius:    50,
+		Radius:        100,
+		HistoryLen:    5,
+		Link:          partition.LabWiFi(),
+		EstimatorSeed: 1,
+	}
+}
+
+// Master is a running master daemon.
+type Master struct {
+	cfg       Config
+	placement *geo.Placement
+	edgesByID map[geo.ServerID]EdgeInfo
+	est       *estimator.ServerEstimator
+	predictor mobility.Predictor
+
+	mu       sync.Mutex
+	planners map[dnn.ModelName]*core.Planner
+	clients  map[int]*clientState
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type clientState struct {
+	model   dnn.ModelName
+	history []geo.Point
+}
+
+// New builds a master for the given configuration. The execution-time
+// estimator is trained offline at construction (Section III.C.1); the
+// mobility predictor defaults to dead reckoning and can be replaced with a
+// trained SVR via SetPredictor.
+func New(cfg Config) (*Master, error) {
+	if len(cfg.Edges) == 0 {
+		return nil, errors.New("master: no edge servers configured")
+	}
+	if cfg.CellRadius <= 0 || cfg.Radius <= 0 || cfg.HistoryLen <= 0 {
+		return nil, fmt.Errorf("master: bad geometry config %+v", cfg)
+	}
+	pts := make([]geo.Point, 0, len(cfg.Edges))
+	for _, e := range cfg.Edges {
+		pts = append(pts, e.Location)
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(cfg.CellRadius), pts)
+
+	est := cfg.Estimator
+	if est == nil {
+		trained, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.EstimatorSeed)
+		if err != nil {
+			return nil, fmt.Errorf("master: training estimator: %w", err)
+		}
+		est = trained
+	}
+	lin := &mobility.Linear{}
+	lin.FitPlacement(pl)
+
+	byID := make(map[geo.ServerID]EdgeInfo, len(cfg.Edges))
+	for _, e := range cfg.Edges {
+		id := pl.ServerAt(e.Location)
+		if id == geo.NoServer {
+			return nil, fmt.Errorf("master: edge %q has no cell", e.Addr)
+		}
+		info := e
+		info.ID = id
+		byID[id] = info
+	}
+
+	return &Master{
+		cfg:       cfg,
+		placement: pl,
+		edgesByID: byID,
+		est:       est,
+		predictor: lin,
+		planners:  make(map[dnn.ModelName]*core.Planner, 4),
+		clients:   make(map[int]*clientState, 8),
+		closed:    make(chan struct{}),
+	}, nil
+}
+
+// SetPredictor swaps in a trained mobility predictor.
+func (m *Master) SetPredictor(p mobility.Predictor) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.predictor = p
+}
+
+// Placement exposes the server placement (for clients to find their cell).
+func (m *Master) Placement() *geo.Placement { return m.placement }
+
+// EdgeAddr returns the daemon address of an edge server.
+func (m *Master) EdgeAddr(id geo.ServerID) (string, bool) {
+	e, ok := m.edgesByID[id]
+	return e.Addr, ok
+}
+
+// Serve accepts connections until Close.
+func (m *Master) Serve(ln net.Listener) error {
+	m.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-m.closed:
+				m.wg.Wait()
+				return nil
+			default:
+				return fmt.Errorf("master: accept: %w", err)
+			}
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handle(wire.NewConn(conn))
+		}()
+	}
+}
+
+// Close stops the daemon.
+func (m *Master) Close() error {
+	close(m.closed)
+	if m.ln != nil {
+		return m.ln.Close()
+	}
+	return nil
+}
+
+func (m *Master) handle(c *wire.Conn) {
+	defer func() {
+		if err := c.Close(); err != nil {
+			log.Printf("master: closing conn: %v", err)
+		}
+	}()
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			return
+		}
+		resp := m.dispatch(req)
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func ackErr(err error) *wire.Envelope {
+	if err != nil {
+		return &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{OK: false, Error: err.Error()}}
+	}
+	return &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{OK: true}}
+}
+
+func (m *Master) dispatch(req *wire.Envelope) *wire.Envelope {
+	switch req.Type {
+	case wire.MsgRegister:
+		if req.Register == nil {
+			return ackErr(errors.New("master: register without body"))
+		}
+		return ackErr(m.register(req.Register))
+	case wire.MsgTrajectory:
+		if req.Trajectory == nil {
+			return ackErr(errors.New("master: trajectory without body"))
+		}
+		return ackErr(m.trajectory(req.Trajectory))
+	case wire.MsgPlanRequest:
+		if req.PlanReq == nil {
+			return ackErr(errors.New("master: plan request without body"))
+		}
+		resp, err := m.plan(req.PlanReq)
+		if err != nil {
+			return ackErr(err)
+		}
+		return &wire.Envelope{Type: wire.MsgPlanResponse, PlanResp: resp}
+	default:
+		return ackErr(fmt.Errorf("master: unexpected message type %d", req.Type))
+	}
+}
+
+// register records a client and builds its planner from the model's DNN
+// profile.
+func (m *Master) register(r *wire.Register) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.planners[r.Model]; !ok {
+		model, err := dnn.ZooModel(r.Model)
+		if err != nil {
+			return err
+		}
+		prof := profile.NewModelProfile(model, profile.ClientODROID(), profile.ServerTitanXp())
+		pl, err := core.NewPlanner(prof, m.est, m.cfg.Link)
+		if err != nil {
+			return err
+		}
+		m.planners[r.Model] = pl
+	}
+	m.clients[r.ClientID] = &clientState{model: r.Model}
+	return nil
+}
+
+// trajectory updates a client's history and triggers proactive migration.
+func (m *Master) trajectory(t *wire.Trajectory) error {
+	m.mu.Lock()
+	cs, ok := m.clients[t.ClientID]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("master: unknown client %d", t.ClientID)
+	}
+	cs.history = append(cs.history, t.Points...)
+	if len(cs.history) > m.cfg.HistoryLen {
+		cs.history = cs.history[len(cs.history)-m.cfg.HistoryLen:]
+	}
+	recent := make([]geo.Point, len(cs.history))
+	copy(recent, cs.history)
+	model := cs.model
+	pred := m.predictor
+	m.mu.Unlock()
+
+	if len(recent) < 2 {
+		return nil
+	}
+	cur := m.placement.ServerAt(recent[len(recent)-1])
+	pol := &core.MigrationPolicy{
+		Predictor:    pred,
+		Placement:    m.placement,
+		Radius:       m.cfg.Radius,
+		HistoryLen:   m.cfg.HistoryLen,
+		TTLIntervals: 5,
+	}
+	targets, ok := pol.Targets(recent, cur)
+	if !ok || cur == geo.NoServer {
+		return nil
+	}
+	curAddr, ok := m.EdgeAddr(cur)
+	if !ok {
+		return nil
+	}
+	for _, tid := range targets {
+		if err := m.orderMigration(model, t.ClientID, curAddr, tid); err != nil {
+			log.Printf("master: migration for client %d to server %d: %v", t.ClientID, tid, err)
+		}
+	}
+	return nil
+}
+
+// orderMigration computes a future plan for the target and tells the
+// client's current edge server to push the layers.
+func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string, target geo.ServerID) error {
+	tAddr, ok := m.EdgeAddr(target)
+	if !ok {
+		return fmt.Errorf("master: no address for server %d", target)
+	}
+	st, err := m.pingStats(tAddr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	planner := m.planners[model]
+	m.mu.Unlock()
+	entry, err := planner.PlanFor(*st)
+	if err != nil {
+		return err
+	}
+	conn, err := wire.Dial(curAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil {
+			log.Printf("master: closing edge conn: %v", cerr)
+		}
+	}()
+	resp, err := conn.RoundTrip(&wire.Envelope{
+		Type: wire.MsgMigrateRequest,
+		Migrate: &wire.Migrate{
+			ClientID: client,
+			Layers:   partition.FlattenSchedule(entry.Schedule),
+			PeerAddr: tAddr,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		return fmt.Errorf("master: edge %s rejected migration order", curAddr)
+	}
+	return nil
+}
+
+// pingStats fetches the live GPU statistics of an edge daemon.
+func (m *Master) pingStats(addr string) (*gpusim.Stats, error) {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil {
+			log.Printf("master: closing stats conn: %v", cerr)
+		}
+	}()
+	resp, err := conn.RoundTrip(&wire.Envelope{Type: wire.MsgStatsRequest})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.MsgStatsResponse || resp.Stats == nil || resp.Stats.Sample == nil {
+		return nil, fmt.Errorf("master: bad stats response from %s", addr)
+	}
+	return resp.Stats.Sample, nil
+}
+
+// plan computes a current partitioning plan for a client against a server.
+func (m *Master) plan(r *wire.PlanReq) (*wire.PlanResp, error) {
+	m.mu.Lock()
+	cs, ok := m.clients[r.ClientID]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("master: unknown client %d", r.ClientID)
+	}
+	planner := m.planners[cs.model]
+	m.mu.Unlock()
+
+	addr, ok := m.EdgeAddr(r.Server)
+	if !ok {
+		return nil, fmt.Errorf("master: unknown server %d", r.Server)
+	}
+	st, err := m.pingStats(addr)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := planner.PlanFor(*st)
+	if err != nil {
+		return nil, err
+	}
+	units := make([][]dnn.LayerID, 0, len(entry.Schedule))
+	for _, u := range entry.Schedule {
+		ids := make([]dnn.LayerID, len(u.Layers))
+		copy(ids, u.Layers)
+		units = append(units, ids)
+	}
+	return &wire.PlanResp{
+		ServerLayers: entry.Plan.ServerLayers(),
+		UploadOrder:  units,
+		Slowdown:     entry.Plan.Slowdown,
+		EstLatencyNs: int64(entry.Plan.EstLatency),
+	}, nil
+}

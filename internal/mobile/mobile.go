@@ -1,0 +1,257 @@
+// Package mobile is the live client runtime: it registers with the master,
+// reports its trajectory, fetches partitioning plans, uploads layers to its
+// current edge server, and runs collaborative queries (client-side layers
+// locally, server-side layers at the edge daemon).
+package mobile
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/geo"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+	"perdnn/internal/wire"
+)
+
+// Config parameterizes a live client.
+type Config struct {
+	// ID identifies the client to the master and edge daemons.
+	ID int
+	// Model is the client's DNN.
+	Model dnn.ModelName
+	// MasterAddr is the master daemon address.
+	MasterAddr string
+	// TimeScale compresses client-side execution into wall time, matching
+	// the edge daemons' scale.
+	TimeScale float64
+}
+
+// Client is a connected live client.
+type Client struct {
+	cfg    Config
+	model  *dnn.Model
+	prof   *profile.ModelProfile
+	master *wire.Conn
+
+	// Current attachment.
+	server    geo.ServerID
+	edge      *wire.Conn
+	plan      *wire.PlanResp
+	uploaded  map[dnn.LayerID]bool
+	split     partition.Split
+	planReady bool
+}
+
+// Dial connects to the master and registers.
+func Dial(cfg Config) (*Client, error) {
+	m, err := dnn.ZooModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := wire.Dial(cfg.MasterAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:      cfg,
+		model:    m,
+		prof:     profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp()),
+		master:   conn,
+		server:   geo.NoServer,
+		uploaded: make(map[dnn.LayerID]bool, m.NumLayers()),
+	}
+	resp, err := conn.RoundTrip(&wire.Envelope{
+		Type:     wire.MsgRegister,
+		Register: &wire.Register{ClientID: cfg.ID, Model: cfg.Model},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mobile: registering: %w", err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		return nil, fmt.Errorf("mobile: registration rejected: %s", ackError(resp))
+	}
+	return c, nil
+}
+
+func ackError(e *wire.Envelope) string {
+	if e.Ack != nil {
+		return e.Ack.Error
+	}
+	return "no ack"
+}
+
+// Close drops all connections.
+func (c *Client) Close() error {
+	var first error
+	if c.edge != nil {
+		first = c.edge.Close()
+	}
+	if err := c.master.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// ReportLocation sends a trajectory point to the master (triggering its
+// proactive-migration pipeline).
+func (c *Client) ReportLocation(p geo.Point) error {
+	resp, err := c.master.RoundTrip(&wire.Envelope{
+		Type:       wire.MsgTrajectory,
+		Trajectory: &wire.Trajectory{ClientID: c.cfg.ID, Points: []geo.Point{p}},
+	})
+	if err != nil {
+		return fmt.Errorf("mobile: reporting location: %w", err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		return fmt.Errorf("mobile: location rejected: %s", ackError(resp))
+	}
+	return nil
+}
+
+// Connect attaches to an edge server: fetches the current plan from the
+// master, checks which layers the edge already caches, and uploads one
+// missing schedule unit per UploadStep call.
+func (c *Client) Connect(server geo.ServerID, edgeAddr string) error {
+	if c.edge != nil {
+		if err := c.edge.Close(); err != nil {
+			log.Printf("mobile: closing previous edge conn: %v", err)
+		}
+		c.edge = nil
+	}
+	resp, err := c.master.RoundTrip(&wire.Envelope{
+		Type:    wire.MsgPlanRequest,
+		PlanReq: &wire.PlanReq{ClientID: c.cfg.ID, Server: server},
+	})
+	if err != nil {
+		return fmt.Errorf("mobile: requesting plan: %w", err)
+	}
+	if resp.Type != wire.MsgPlanResponse || resp.PlanResp == nil {
+		return fmt.Errorf("mobile: plan request failed: %s", ackError(resp))
+	}
+	edge, err := wire.Dial(edgeAddr)
+	if err != nil {
+		return fmt.Errorf("mobile: dialing edge: %w", err)
+	}
+	c.server = server
+	c.edge = edge
+	c.plan = resp.PlanResp
+	c.planReady = true
+	c.uploaded = make(map[dnn.LayerID]bool, c.model.NumLayers())
+
+	// Which plan layers are already cached at the edge (hit/miss check)?
+	hasResp, err := edge.RoundTrip(&wire.Envelope{
+		Type: wire.MsgHasRequest,
+		Has:  &wire.Has{ClientID: c.cfg.ID, Layers: c.plan.ServerLayers},
+	})
+	if err != nil {
+		return fmt.Errorf("mobile: querying cache: %w", err)
+	}
+	if hasResp.Type == wire.MsgHasResponse && hasResp.Has != nil {
+		for _, id := range hasResp.Has.Layers {
+			c.uploaded[id] = true
+		}
+	}
+	c.recomputeSplit()
+	return nil
+}
+
+// CacheState reports how many of the plan's server-side layers are already
+// available at the edge versus the total — all present is the paper's
+// "hit", none is a "miss".
+func (c *Client) CacheState() (present, total int) {
+	if !c.planReady {
+		return 0, 0
+	}
+	for _, id := range c.plan.ServerLayers {
+		if c.uploaded[id] {
+			present++
+		}
+	}
+	return present, len(c.plan.ServerLayers)
+}
+
+// UploadStep uploads the next missing schedule unit to the edge server.
+// It returns false when nothing remains to upload.
+func (c *Client) UploadStep() (bool, error) {
+	if !c.planReady || c.edge == nil {
+		return false, errors.New("mobile: not connected")
+	}
+	for _, unit := range c.plan.UploadOrder {
+		missing := make([]dnn.LayerID, 0, len(unit))
+		var bytes int64
+		for _, id := range unit {
+			if !c.uploaded[id] {
+				missing = append(missing, id)
+				bytes += c.model.Layer(id).WeightBytes
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		resp, err := c.edge.RoundTrip(&wire.Envelope{
+			Type:   wire.MsgUploadLayers,
+			Upload: &wire.Upload{ClientID: c.cfg.ID, Layers: missing, Bytes: bytes},
+		})
+		if err != nil {
+			return false, fmt.Errorf("mobile: uploading: %w", err)
+		}
+		if resp.Ack == nil || !resp.Ack.OK {
+			return false, fmt.Errorf("mobile: upload rejected: %s", ackError(resp))
+		}
+		for _, id := range missing {
+			c.uploaded[id] = true
+		}
+		c.recomputeSplit()
+		return true, nil
+	}
+	return false, nil
+}
+
+// recomputeSplit refreshes the query decomposition from the uploaded set.
+func (c *Client) recomputeSplit() {
+	c.split = partition.Decompose(c.prof, partition.WithOffloaded(c.model, c.uploaded))
+}
+
+// Query runs one collaborative inference: client-side layers locally (as a
+// scaled sleep), server-side layers at the edge. It returns the simulated
+// end-to-end latency.
+func (c *Client) Query() (time.Duration, error) {
+	sp := c.split
+	total := sp.ClientTime
+	if c.cfg.TimeScale > 0 {
+		time.Sleep(time.Duration(float64(sp.ClientTime) * c.cfg.TimeScale))
+	}
+	if sp.ServerBase > 0 {
+		if c.edge == nil {
+			return 0, errors.New("mobile: plan offloads but no edge connection")
+		}
+		resp, err := c.edge.RoundTrip(&wire.Envelope{
+			Type: wire.MsgExecRequest,
+			ExecReq: &wire.ExecReq{
+				ClientID:     c.cfg.ID,
+				ServerBaseNs: int64(sp.ServerBase),
+				Intensity:    sp.Intensity,
+				InputBytes:   sp.UpBytes,
+			},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("mobile: query: %w", err)
+		}
+		if resp.Type != wire.MsgExecResponse || resp.ExecResp == nil {
+			return 0, fmt.Errorf("mobile: query failed: %s", ackError(resp))
+		}
+		link := partition.LabWiFi()
+		total += link.UpTime(sp.UpBytes) + time.Duration(resp.ExecResp.ExecNs) + link.DownTime(sp.DownBytes)
+	}
+	return total, nil
+}
+
+// EstimatedLatency returns the current split's modelled latency (without
+// contention).
+func (c *Client) EstimatedLatency() time.Duration {
+	return c.split.Latency(partition.LabWiFi(), 1)
+}

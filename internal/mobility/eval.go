@@ -1,0 +1,102 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"perdnn/internal/geo"
+	"perdnn/internal/trace"
+)
+
+// EvalResult is one row of Table III: top-1/top-2 edge-server prediction
+// accuracy and, for coordinate-based predictors, the mean absolute position
+// error in meters.
+type EvalResult struct {
+	Name string
+	// Top1 and Top2 are accuracies in percent over non-futile predictions.
+	Top1 float64
+	Top2 float64
+	// MAEMeters is the position error; NaN for discrete predictors.
+	MAEMeters float64
+	// Evaluated is the number of non-futile predictions scored; Futile the
+	// number excluded because the client stayed in the same server.
+	Evaluated int
+	Futile    int
+}
+
+// EvaluatePredictor scores a trained predictor on the test split following
+// the Table III protocol: only non-futile predictions count (the client
+// actually moves to a different server at the next step); top-k is a hit
+// when the actual next server is among the k ranked candidates.
+func EvaluatePredictor(p Predictor, test []trace.Trajectory, pl *geo.Placement, n int) (EvalResult, error) {
+	if len(test) == 0 {
+		return EvalResult{}, fmt.Errorf("mobility: no test trajectories")
+	}
+	res := EvalResult{Name: p.Name(), MAEMeters: math.NaN()}
+	var maeSum float64
+	var maeCnt int
+
+	for _, tr := range test {
+		for i := n - 1; i+1 < tr.Len(); i++ {
+			recent := tr.Points[i-n+1 : i+1]
+			cur := nearestServer(pl, tr.Points[i])
+			next := nearestServer(pl, tr.Points[i+1])
+			if cur == next {
+				res.Futile++
+				continue
+			}
+			res.Evaluated++
+			ranked := p.Rank(recent, 2)
+			if len(ranked) > 0 && ranked[0] == next {
+				res.Top1++
+				res.Top2++
+			} else if len(ranked) > 1 && ranked[1] == next {
+				res.Top2++
+			}
+			if pt, ok := p.PredictPoint(recent); ok {
+				maeSum += math.Abs(pt.X-tr.Points[i+1].X)/2 + math.Abs(pt.Y-tr.Points[i+1].Y)/2
+				maeCnt++
+			}
+		}
+	}
+	if res.Evaluated == 0 {
+		return res, fmt.Errorf("mobility: no non-futile predictions for %s", p.Name())
+	}
+	res.Top1 = res.Top1 / float64(res.Evaluated) * 100
+	res.Top2 = res.Top2 / float64(res.Evaluated) * 100
+	if maeCnt > 0 {
+		res.MAEMeters = maeSum / float64(maeCnt)
+	}
+	return res, nil
+}
+
+// nearestServer maps a point to its serving edge server, falling back to
+// the nearest one when the point's own cell has none.
+func nearestServer(pl *geo.Placement, p geo.Point) geo.ServerID {
+	if id := pl.ServerAt(p); id != geo.NoServer {
+		return id
+	}
+	near := pl.Nearest(p, 1)
+	if len(near) == 0 {
+		return geo.NoServer
+	}
+	return near[0]
+}
+
+// FutileRatio returns the fraction of prediction opportunities in the test
+// split where the client stays in the same server for the next step.
+func FutileRatio(test []trace.Trajectory, pl *geo.Placement, n int) float64 {
+	var futile, total int
+	for _, tr := range test {
+		for i := n - 1; i+1 < tr.Len(); i++ {
+			total++
+			if nearestServer(pl, tr.Points[i]) == nearestServer(pl, tr.Points[i+1]) {
+				futile++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(futile) / float64(total)
+}

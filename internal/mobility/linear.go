@@ -1,0 +1,56 @@
+package mobility
+
+import (
+	"perdnn/internal/geo"
+	"perdnn/internal/trace"
+)
+
+// Linear is a training-free dead-reckoning predictor: the next location is
+// the last location plus the most recent displacement. It is the natural
+// lower bound for the learned predictors and the default for live
+// deployments that have no training corpus yet.
+type Linear struct {
+	pl *geo.Placement
+}
+
+var _ Predictor = (*Linear)(nil)
+
+// Name implements Predictor.
+func (l *Linear) Name() string { return "Linear" }
+
+// Fit implements Predictor; only the placement is retained.
+func (l *Linear) Fit(train []trace.Trajectory, pl *geo.Placement, n int) error {
+	if pl == nil {
+		return checkFitArgs(train, pl, n)
+	}
+	l.pl = pl
+	return nil
+}
+
+// FitPlacement configures the predictor without a training corpus.
+func (l *Linear) FitPlacement(pl *geo.Placement) { l.pl = pl }
+
+// PredictPoint implements Predictor.
+func (l *Linear) PredictPoint(recent []geo.Point) (geo.Point, bool) {
+	if len(recent) == 0 {
+		return geo.Point{}, false
+	}
+	last := recent[len(recent)-1]
+	if len(recent) == 1 {
+		return last, true
+	}
+	prev := recent[len(recent)-2]
+	return last.Add(last.Sub(prev)), true
+}
+
+// Rank implements Predictor.
+func (l *Linear) Rank(recent []geo.Point, k int) []geo.ServerID {
+	if l.pl == nil {
+		return nil
+	}
+	pt, ok := l.PredictPoint(recent)
+	if !ok {
+		return nil
+	}
+	return l.pl.Nearest(pt, k)
+}

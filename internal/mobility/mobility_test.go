@@ -1,0 +1,244 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"perdnn/internal/geo"
+	"perdnn/internal/trace"
+)
+
+// testEnv generates a small resampled dataset and its placement.
+func testEnv(t *testing.T, cfg trace.Config, interval time.Duration) (*trace.Dataset, *geo.Placement) {
+	t.Helper()
+	cfg.TrainUsers = 12
+	cfg.TestUsers = 6
+	cfg.Duration = 90 * time.Minute
+	base, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := base.Resample(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(50), ds.AllPoints())
+	return ds, pl
+}
+
+func TestWindows(t *testing.T) {
+	tr := trace.Trajectory{Interval: time.Second, Points: []geo.Point{
+		{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 4},
+	}}
+	wins := Windows([]trace.Trajectory{tr}, 2)
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	if wins[0].In[0].X != 0 || wins[0].In[1].X != 1 || wins[0].Target.X != 2 {
+		t.Errorf("window 0 = %+v", wins[0])
+	}
+	if wins[2].Target.X != 4 {
+		t.Errorf("window 2 target = %v", wins[2].Target)
+	}
+	if Windows(nil, 0) != nil {
+		t.Error("n=0 should yield nil")
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	trs := []trace.Trajectory{{Points: []geo.Point{{X: 0, Y: 10}, {X: 10, Y: 30}, {X: 20, Y: 50}}}}
+	z, err := FitNormalizer(trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Point{X: 7, Y: 22}
+	back := z.FromStd(z.ToStd(p))
+	if math.Abs(back.X-p.X) > 1e-9 || math.Abs(back.Y-p.Y) > 1e-9 {
+		t.Errorf("round trip %v -> %v", p, back)
+	}
+	std := z.ToStd(geo.Point{X: 10, Y: 30})
+	if math.Abs(std.X) > 1e-9 || math.Abs(std.Y) > 1e-9 {
+		t.Errorf("mean does not map to origin: %v", std)
+	}
+	if _, err := FitNormalizer(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	ds, pl := testEnv(t, trace.KAISTConfig(), 20*time.Second)
+	for _, p := range []Predictor{&Markov{}, &SVR{Seed: 1}, &LSTM{Seed: 1, Epochs: 1, MaxExamples: 50}} {
+		if err := p.Fit(nil, pl, 5); err == nil {
+			t.Errorf("%s: accepted empty training set", p.Name())
+		}
+		if err := p.Fit(ds.Train, nil, 5); err == nil {
+			t.Errorf("%s: accepted nil placement", p.Name())
+		}
+		if err := p.Fit(ds.Train, pl, 0); err == nil {
+			t.Errorf("%s: accepted n=0", p.Name())
+		}
+	}
+}
+
+// TestSVRBeatsStandStill verifies the SVR learns motion: its MAE must be
+// well below the trivial "predict the current position" baseline on the
+// fast urban dataset.
+func TestSVRBeatsStandStill(t *testing.T) {
+	ds, pl := testEnv(t, trace.GeolifeConfig(), 20*time.Second)
+	svr := &SVR{Seed: 1}
+	if err := svr.Fit(ds.Train, pl, 5); err != nil {
+		t.Fatal(err)
+	}
+	wins := Windows(ds.Test, 5)
+	mae, err := MAE(svr, wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var still float64
+	for _, w := range wins {
+		last := w.In[len(w.In)-1]
+		still += math.Abs(last.X-w.Target.X)/2 + math.Abs(last.Y-w.Target.Y)/2
+	}
+	still /= float64(len(wins))
+	if mae >= still*0.8 {
+		t.Errorf("SVR MAE %.1fm not clearly below stand-still %.1fm", mae, still)
+	}
+}
+
+func TestSVRPredictsLinearMotion(t *testing.T) {
+	// A constant-velocity synthetic corpus: the linear SVR must learn the
+	// extrapolation next = last + (last - prev) almost exactly.
+	mk := func(x0, y0, vx, vy float64) trace.Trajectory {
+		pts := make([]geo.Point, 40)
+		for i := range pts {
+			pts[i] = geo.Point{X: x0 + vx*float64(i), Y: y0 + vy*float64(i)}
+		}
+		return trace.Trajectory{Interval: time.Second, Points: pts}
+	}
+	var train []trace.Trajectory
+	for i := 0; i < 20; i++ {
+		train = append(train, mk(float64(i*40), float64(i*25), float64(i%5)-2, float64(i%3)-1))
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(50), []geo.Point{{X: 100, Y: 100}})
+	svr := &SVR{Seed: 1, Epochs: 60}
+	if err := svr.Fit(train, pl, 3); err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := svr.PredictPoint([]geo.Point{{X: 10, Y: 10}, {X: 13, Y: 11}, {X: 16, Y: 12}})
+	if !ok {
+		t.Fatal("not coordinate-based")
+	}
+	if math.Abs(pt.X-19) > 3 || math.Abs(pt.Y-13) > 3 {
+		t.Errorf("extrapolation = %v, want ~(19,13)", pt)
+	}
+}
+
+func TestMarkovRanksRoutineTransitions(t *testing.T) {
+	// Users alternate between two fixed cells; the Markov model must rank
+	// the other cell first when the user is about to move.
+	g := geo.NewHexGrid(50)
+	a := g.Center(geo.HexCell{Q: 0, R: 0})
+	b := g.Center(geo.HexCell{Q: 5, R: 0})
+	pts := make([]geo.Point, 0, 40)
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			pts = append(pts, a)
+		} else {
+			pts = append(pts, b)
+		}
+	}
+	train := []trace.Trajectory{{Interval: time.Second, Points: pts}}
+	pl := geo.NewPlacement(g, []geo.Point{a, b})
+	m := &Markov{}
+	if err := m.Fit(train, pl, 5); err != nil {
+		t.Fatal(err)
+	}
+	ranked := m.Rank([]geo.Point{b, a, b, a, b}, 2)
+	if len(ranked) == 0 {
+		t.Fatal("no ranking")
+	}
+	if ranked[0] != pl.ServerAt(a) {
+		t.Errorf("top-1 = %v, want server at a (%v)", ranked[0], pl.ServerAt(a))
+	}
+	if _, ok := m.PredictPoint(pts); ok {
+		t.Error("Markov claims to be coordinate-based")
+	}
+}
+
+func TestLSTMLearnsOnSyntheticData(t *testing.T) {
+	// Constant-velocity tracks again: after training, the LSTM must be far
+	// more accurate than an untrained one.
+	mk := func(x0, y0, vx, vy float64) trace.Trajectory {
+		pts := make([]geo.Point, 30)
+		for i := range pts {
+			pts[i] = geo.Point{X: x0 + vx*float64(i), Y: y0 + vy*float64(i)}
+		}
+		return trace.Trajectory{Interval: time.Second, Points: pts}
+	}
+	var train []trace.Trajectory
+	for i := 0; i < 12; i++ {
+		train = append(train, mk(float64(i*30), float64(i*20), float64(i%5)-2, float64(i%4)-1.5))
+	}
+	pl := geo.NewPlacement(geo.NewHexGrid(50), []geo.Point{{X: 100, Y: 100}})
+
+	lstm := &LSTM{Hidden: 12, Epochs: 40, Seed: 1, MaxExamples: 500}
+	if err := lstm.Fit(train, pl, 4); err != nil {
+		t.Fatal(err)
+	}
+	wins := Windows(train[:4], 4)
+	mae, err := MAE(lstm, wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positions span hundreds of meters; a trained model must track them
+	// to within a few meters on in-distribution data.
+	if mae > 15 {
+		t.Errorf("LSTM training MAE %.1fm, want <= 15m", mae)
+	}
+}
+
+func TestEvaluatePredictorProtocol(t *testing.T) {
+	ds, pl := testEnv(t, trace.GeolifeConfig(), 20*time.Second)
+	svr := &SVR{Seed: 1}
+	if err := svr.Fit(ds.Train, pl, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluatePredictor(svr, ds.Test, pl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Top2 < res.Top1 {
+		t.Errorf("top2 %.1f < top1 %.1f", res.Top2, res.Top1)
+	}
+	if res.Top1 < 0 || res.Top2 > 100 {
+		t.Errorf("accuracy out of range: %+v", res)
+	}
+	if res.Evaluated == 0 {
+		t.Error("nothing evaluated")
+	}
+	if math.IsNaN(res.MAEMeters) || res.MAEMeters <= 0 {
+		t.Errorf("MAE = %v", res.MAEMeters)
+	}
+	if _, err := EvaluatePredictor(svr, nil, pl, 5); err == nil {
+		t.Error("empty test set accepted")
+	}
+}
+
+func TestFutileRatioBounds(t *testing.T) {
+	ds, pl := testEnv(t, trace.KAISTConfig(), 20*time.Second)
+	r := FutileRatio(ds.Test, pl, 5)
+	if r <= 0 || r >= 1 {
+		t.Errorf("futile ratio = %v, want in (0,1)", r)
+	}
+	// Slower sampling must reduce futility (the client moves further per
+	// step).
+	ds60, err := ds.Resample(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r60 := FutileRatio(ds60.Test, pl, 5)
+	if r60 >= r {
+		t.Errorf("futile ratio did not drop with interval: %v -> %v", r, r60)
+	}
+}

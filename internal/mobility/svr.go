@@ -1,0 +1,174 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"perdnn/internal/geo"
+	"perdnn/internal/trace"
+)
+
+// SVR is the paper's chosen predictor: two linear support vector regressors
+// (one per coordinate) over the standardized recent trajectory, trained by
+// stochastic subgradient descent on the epsilon-insensitive loss with L2
+// regularization. "Linear SVR showed an accuracy similar to RNN and was
+// faster than RNN in terms of both training and testing" (Section IV.B.2).
+type SVR struct {
+	// Epsilon is the insensitive-tube half width in standardized units.
+	Epsilon float64
+	// Lambda is the L2 regularization strength.
+	Lambda float64
+	// Epochs is the number of SGD passes; LR0 the initial learning rate.
+	Epochs int
+	LR0    float64
+	// Seed drives example shuffling.
+	Seed int64
+
+	pl   *geo.Placement
+	n    int
+	norm *Normalizer
+	wx   []float64 // weights for predicting x (2n features + bias at end)
+	wy   []float64
+}
+
+var _ Predictor = (*SVR)(nil)
+
+// Name implements Predictor.
+func (s *SVR) Name() string { return "SVR" }
+
+// Fit implements Predictor.
+func (s *SVR) Fit(train []trace.Trajectory, pl *geo.Placement, n int) error {
+	if err := checkFitArgs(train, pl, n); err != nil {
+		return err
+	}
+	if s.Epsilon <= 0 {
+		s.Epsilon = 0.002
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 1e-6
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 30
+	}
+	if s.LR0 <= 0 {
+		s.LR0 = 0.05
+	}
+	s.pl = pl
+	s.n = n
+
+	norm, err := FitNormalizer(train)
+	if err != nil {
+		return err
+	}
+	s.norm = norm
+
+	wins := Windows(train, n)
+	if len(wins) == 0 {
+		return fmt.Errorf("mobility: trajectories too short for n=%d", n)
+	}
+	x := make([][]float64, 0, len(wins))
+	yx := make([]float64, 0, len(wins))
+	yy := make([]float64, 0, len(wins))
+	for _, w := range wins {
+		x = append(x, s.features(w.In))
+		tgt := norm.ToStd(w.Target)
+		yx = append(yx, tgt.X)
+		yy = append(yy, tgt.Y)
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed + 17))
+	s.wx = s.trainOne(x, yx, rng)
+	s.wy = s.trainOne(x, yy, rng)
+	return nil
+}
+
+// features flattens the standardized recent locations; the final slot is
+// the bias feature.
+func (s *SVR) features(recent []geo.Point) []float64 {
+	f := make([]float64, 0, 2*s.n+1)
+	// Pad by repeating the oldest point if the history is short.
+	for i := 0; i < s.n; i++ {
+		j := i - (s.n - len(recent))
+		if j < 0 {
+			j = 0
+		}
+		p := s.norm.ToStd(recent[j])
+		f = append(f, p.X, p.Y)
+	}
+	return append(f, 1)
+}
+
+// trainOne runs SGD on the epsilon-insensitive subgradient for one output.
+func (s *SVR) trainOne(x [][]float64, y []float64, rng *rand.Rand) []float64 {
+	w := make([]float64, len(x[0]))
+	step := 0
+	for e := 0; e < s.Epochs; e++ {
+		for _, i := range rng.Perm(len(x)) {
+			step++
+			lr := s.LR0 / (1 + 0.0005*float64(step))
+			pred := dot(w, x[i])
+			r := pred - y[i]
+			// L2 shrink (bias exempt).
+			for j := 0; j < len(w)-1; j++ {
+				w[j] -= lr * s.Lambda * w[j]
+			}
+			switch {
+			case r > s.Epsilon:
+				for j, v := range x[i] {
+					w[j] -= lr * v
+				}
+			case r < -s.Epsilon:
+				for j, v := range x[i] {
+					w[j] += lr * v
+				}
+			}
+		}
+	}
+	return w
+}
+
+func dot(w, x []float64) float64 {
+	var sum float64
+	for i, v := range w {
+		sum += v * x[i]
+	}
+	return sum
+}
+
+// PredictPoint implements Predictor.
+func (s *SVR) PredictPoint(recent []geo.Point) (geo.Point, bool) {
+	if s.wx == nil || len(recent) == 0 {
+		return geo.Point{}, false
+	}
+	f := s.features(recent)
+	return s.norm.FromStd(geo.Point{X: dot(s.wx, f), Y: dot(s.wy, f)}), true
+}
+
+// Rank implements Predictor: the k servers nearest the predicted point.
+func (s *SVR) Rank(recent []geo.Point, k int) []geo.ServerID {
+	pt, ok := s.PredictPoint(recent)
+	if !ok {
+		return nil
+	}
+	return s.pl.Nearest(pt, k)
+}
+
+// MAE returns the mean absolute position error (meters) over test windows,
+// the per-point metric of Table III and Fig 6.
+func MAE(p Predictor, wins []Window) (float64, error) {
+	if len(wins) == 0 {
+		return 0, fmt.Errorf("mobility: no evaluation windows")
+	}
+	var sum float64
+	var cnt int
+	for _, w := range wins {
+		pt, ok := p.PredictPoint(w.In)
+		if !ok {
+			return 0, fmt.Errorf("mobility: %s is not coordinate-based", p.Name())
+		}
+		sum += math.Abs(pt.X-w.Target.X)/2 + math.Abs(pt.Y-w.Target.Y)/2
+		cnt++
+	}
+	return sum / float64(cnt), nil
+}

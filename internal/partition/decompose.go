@@ -1,0 +1,91 @@
+package partition
+
+import (
+	"time"
+
+	"perdnn/internal/gpusim"
+	"perdnn/internal/profile"
+)
+
+// Split is the device-and-network decomposition of one query under a fixed
+// assignment: everything a simulator needs to price the query end to end.
+// The server time is contention-free; the engine scales it by the live GPU
+// state and uses Intensity for the memory-sensitivity of the server-side
+// work.
+type Split struct {
+	// ClientTime is the total client-side layer execution time.
+	ClientTime time.Duration
+	// ServerBase is the total contention-free server-side execution time.
+	ServerBase time.Duration
+	// UpBytes and DownBytes are the tensor bytes crossing the link in each
+	// direction (shared tensors counted once, final output included).
+	UpBytes   int64
+	DownBytes int64
+	// Intensity is the weighted memory intensity of the server-side layers
+	// (see gpusim.Intensity); zero when nothing runs on the server.
+	Intensity float64
+}
+
+// Decompose computes the Split of an assignment. It panics on malformed
+// locations — callers always derive them from WithOffloaded or a Plan.
+func Decompose(prof *profile.ModelProfile, loc []Location) Split {
+	m := prof.Model
+	if len(loc) != m.NumLayers() {
+		panic("partition: Decompose location count mismatch")
+	}
+	var sp Split
+	var intensityWeight float64
+	for i := range m.Layers {
+		switch loc[i] {
+		case AtClient:
+			sp.ClientTime += prof.ClientTime[i]
+		case AtServer:
+			base := prof.ServerBase[i]
+			sp.ServerBase += base
+			sp.Intensity += gpusim.Intensity(&m.Layers[i]) * base.Seconds()
+			intensityWeight += base.Seconds()
+		default:
+			panic("partition: Decompose invalid location")
+		}
+	}
+	if intensityWeight > 0 {
+		sp.Intensity /= intensityWeight
+	}
+
+	if loc[0] == AtServer {
+		sp.UpBytes += m.Layers[0].InputBytes()
+	}
+	succ := m.Successors()
+	for i := range m.Layers {
+		var toServer, toClient bool
+		for _, s := range succ[i] {
+			if loc[s] != loc[i] {
+				if loc[s] == AtServer {
+					toServer = true
+				} else {
+					toClient = true
+				}
+			}
+		}
+		if toServer {
+			sp.UpBytes += m.Layers[i].OutputBytes()
+		}
+		if toClient {
+			sp.DownBytes += m.Layers[i].OutputBytes()
+		}
+	}
+	last := int(m.OutputLayer())
+	if loc[last] == AtServer {
+		sp.DownBytes += m.Layers[last].OutputBytes()
+	}
+	return sp
+}
+
+// Latency prices the split at a given link and server slowdown — it matches
+// Evaluate exactly when slowdown equals the request's.
+func (sp Split) Latency(link Link, slowdown float64) time.Duration {
+	return sp.ClientTime +
+		link.UpTime(sp.UpBytes) +
+		time.Duration(float64(sp.ServerBase)*slowdown) +
+		link.DownTime(sp.DownBytes)
+}

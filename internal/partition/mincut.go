@@ -1,0 +1,237 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PartitionMinCut computes the exact minimum-latency layer assignment for
+// arbitrary DAG models by reduction to a minimum s-t cut (the approach of
+// Hu et al., "Dynamic adaptive DNN surgery for inference acceleration on
+// the edge", which the paper cites as the DAG-general alternative to
+// IONN's shortest-path construction).
+//
+// Reduction: one node per layer plus source s (client side) and sink t
+// (server side).
+//
+//   - s->i with capacity serverTime(i): cut iff layer i ends on the server.
+//   - i->t with capacity clientTime(i): cut iff layer i ends on the client.
+//   - For layer i's output tensor, an auxiliary up-node u with i->u at
+//     uplink cost and u->consumer at infinity: the uplink cost is cut
+//     exactly once iff i is on the client and any consumer is on the
+//     server. A mirror down-node charges the downlink cost once iff i is
+//     on the server and any consumer is on the client.
+//   - The model input (always produced at the client) adds its uplink cost
+//     to s->0; the final output (always consumed at the client) adds its
+//     downlink cost to s->last.
+//
+// The minimum cut's value is the optimal query latency (modulo RTT
+// per-transfer constants) and the source side of the residual graph is the
+// client-side layer set.
+func PartitionMinCut(req Request) (*Plan, error) {
+	if req.Profile == nil || req.Profile.Model == nil {
+		return nil, fmt.Errorf("partition: request has no profile")
+	}
+	if req.Slowdown < 1 {
+		return nil, fmt.Errorf("partition: slowdown %v < 1", req.Slowdown)
+	}
+	if req.Link.UpBps <= 0 || req.Link.DownBps <= 0 {
+		return nil, fmt.Errorf("partition: non-positive bandwidth %+v", req.Link)
+	}
+	m := req.Profile.Model
+	n := m.NumLayers()
+	succ := m.Successors()
+
+	// Node ids: 0..n-1 layers, then one up-node and one down-node per
+	// layer with successors, then s and t.
+	numNodes := n
+	upNode := make([]int, n)
+	downNode := make([]int, n)
+	for i := 0; i < n; i++ {
+		upNode[i], downNode[i] = -1, -1
+		if len(succ[i]) > 0 {
+			upNode[i] = numNodes
+			downNode[i] = numNodes + 1
+			numNodes += 2
+		}
+	}
+	s := numNodes
+	t := numNodes + 1
+	numNodes += 2
+
+	g := newFlowGraph(numNodes)
+	const inf = int64(math.MaxInt64 / 4)
+
+	for i := 0; i < n; i++ {
+		serverCost := int64(float64(req.Profile.ServerBase[i]) * req.Slowdown)
+		clientCost := int64(req.Profile.ClientTime[i])
+		if i == 0 {
+			serverCost += int64(req.Link.UpTime(m.Layers[0].InputBytes()))
+		}
+		if i == n-1 {
+			serverCost += int64(req.Link.DownTime(m.Layers[i].OutputBytes()))
+		}
+		g.addEdge(s, i, serverCost)
+		g.addEdge(i, t, clientCost)
+
+		if upNode[i] >= 0 {
+			g.addEdge(i, upNode[i], int64(req.Link.UpTime(m.Layers[i].OutputBytes())))
+			g.addEdge(downNode[i], i, int64(req.Link.DownTime(m.Layers[i].OutputBytes())))
+			for _, j := range succ[i] {
+				g.addEdge(upNode[i], int(j), inf)
+				g.addEdge(int(j), downNode[i], inf)
+			}
+		}
+	}
+
+	g.maxFlow(s, t)
+	clientSide := g.reachable(s)
+
+	loc := make([]Location, n)
+	for i := 0; i < n; i++ {
+		if clientSide[i] {
+			loc[i] = AtClient
+		} else {
+			loc[i] = AtServer
+		}
+	}
+	lat, err := Evaluate(req, loc)
+	if err != nil {
+		return nil, fmt.Errorf("partition: evaluating min-cut solution: %w", err)
+	}
+	return &Plan{
+		Model:      m,
+		Loc:        loc,
+		EstLatency: lat,
+		Slowdown:   req.Slowdown,
+		Link:       req.Link,
+	}, nil
+}
+
+// flowGraph is a Dinic's-algorithm max-flow network on int64 capacities.
+type flowGraph struct {
+	head  [][]int32 // adjacency: node -> edge indices
+	to    []int32
+	cap   []int64
+	level []int32
+	iter  []int32
+}
+
+func newFlowGraph(n int) *flowGraph {
+	return &flowGraph{
+		head:  make([][]int32, n),
+		level: make([]int32, n),
+		iter:  make([]int32, n),
+	}
+}
+
+// addEdge inserts a directed edge and its zero-capacity reverse.
+func (g *flowGraph) addEdge(from, to int, capacity int64) {
+	if capacity <= 0 {
+		return
+	}
+	g.head[from] = append(g.head[from], int32(len(g.to)))
+	g.to = append(g.to, int32(to))
+	g.cap = append(g.cap, capacity)
+	g.head[to] = append(g.head[to], int32(len(g.to)))
+	g.to = append(g.to, int32(from))
+	g.cap = append(g.cap, 0)
+}
+
+// bfs builds the level graph; reports whether t is reachable.
+func (g *flowGraph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int32, 0, len(g.head))
+	queue = append(queue, int32(s))
+	g.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.head[v] {
+			if g.cap[e] > 0 && g.level[g.to[e]] < 0 {
+				g.level[g.to[e]] = g.level[v] + 1
+				queue = append(queue, g.to[e])
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs sends blocking flow along the level graph.
+func (g *flowGraph) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; g.iter[v] < int32(len(g.head[v])); g.iter[v]++ {
+		e := g.head[v][g.iter[v]]
+		u := g.to[e]
+		if g.cap[e] <= 0 || g.level[u] != g.level[v]+1 {
+			continue
+		}
+		pushed := f
+		if g.cap[e] < pushed {
+			pushed = g.cap[e]
+		}
+		if d := g.dfs(int(u), t, pushed); d > 0 {
+			g.cap[e] -= d
+			g.cap[e^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+// maxFlow runs Dinic's algorithm and returns the total flow.
+func (g *flowGraph) maxFlow(s, t int) int64 {
+	var flow int64
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, math.MaxInt64/4)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// reachable returns the nodes reachable from s in the residual graph — the
+// source side of a minimum cut.
+func (g *flowGraph) reachable(s int) []bool {
+	seen := make([]bool, len(g.head))
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.head[v] {
+			if g.cap[e] > 0 && !seen[g.to[e]] {
+				seen[g.to[e]] = true
+				stack = append(stack, int(g.to[e]))
+			}
+		}
+	}
+	return seen
+}
+
+// MinCutGap reports how far the Fig 5 frontier solution sits above the
+// exact min-cut optimum for a request — the price of the paper's
+// chain-style construction on branchy models.
+func MinCutGap(req Request) (frontier, minCut time.Duration, err error) {
+	fp, err := Partition(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	mp, err := PartitionMinCut(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	return fp.EstLatency, mp.EstLatency, nil
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"perdnn/internal/geo"
+)
+
+// Stats summarizes a mobility dataset — the quantities the paper cites when
+// characterizing KAIST and Geolife (user counts, average speed, dwell
+// behaviour) plus the coverage figures that drive edge-server placement.
+type Stats struct {
+	// TrainUsers and TestUsers are the split sizes.
+	TrainUsers int
+	TestUsers  int
+	// Duration is the per-user time span.
+	Duration time.Duration
+	// MeanSpeed is the test-split average speed in m/s (the paper's ~0.5
+	// for KAIST, ~3.9 for Geolife).
+	MeanSpeed float64
+	// MedianSpeed and P90Speed characterize the speed distribution.
+	MedianSpeed float64
+	P90Speed    float64
+	// StationaryShare is the fraction of steps slower than 0.25 m/s
+	// (dwelling within GPS noise) — the behaviour that produces futile
+	// predictions.
+	StationaryShare float64
+	// CellsVisited is the number of distinct grid cells any user touched —
+	// the edge-server count after placement.
+	CellsVisited int
+	// CellChangesPerHour is the test-split average rate of server changes,
+	// the cold-start opportunity rate.
+	CellChangesPerHour float64
+}
+
+// ComputeStats derives the dataset's statistics on a hexagonal grid of the
+// given cell radius (50 m in the paper).
+func (d *Dataset) ComputeStats(cellRadius float64) (Stats, error) {
+	if cellRadius <= 0 {
+		return Stats{}, fmt.Errorf("trace: cell radius %v", cellRadius)
+	}
+	if len(d.Test) == 0 {
+		return Stats{}, fmt.Errorf("trace: dataset %q has no test split", d.Name)
+	}
+	st := Stats{
+		TrainUsers: len(d.Train),
+		TestUsers:  len(d.Test),
+		Duration:   d.Test[0].Duration(),
+	}
+
+	grid := geo.NewHexGrid(cellRadius)
+	cells := make(map[geo.HexCell]struct{}, 1024)
+	for _, p := range d.AllPoints() {
+		cells[grid.CellAt(p)] = struct{}{}
+	}
+	st.CellsVisited = len(cells)
+
+	var speeds []float64
+	var stationary, steps int
+	var changes int
+	var testTime time.Duration
+	for _, tr := range d.Test {
+		testTime += tr.Duration()
+		prevCell := grid.CellAt(tr.Points[0])
+		for i := 1; i < tr.Len(); i++ {
+			dist := tr.Points[i].Dist(tr.Points[i-1])
+			v := dist / tr.Interval.Seconds()
+			speeds = append(speeds, v)
+			steps++
+			if v < 0.25 {
+				stationary++
+			}
+			if c := grid.CellAt(tr.Points[i]); c != prevCell {
+				changes++
+				prevCell = c
+			}
+		}
+	}
+	if steps == 0 {
+		return Stats{}, fmt.Errorf("trace: dataset %q has no movement samples", d.Name)
+	}
+	sort.Float64s(speeds)
+	var sum float64
+	for _, v := range speeds {
+		sum += v
+	}
+	st.MeanSpeed = sum / float64(len(speeds))
+	st.MedianSpeed = speeds[len(speeds)/2]
+	st.P90Speed = speeds[len(speeds)*9/10]
+	st.StationaryShare = float64(stationary) / float64(steps)
+	if hours := testTime.Hours(); hours > 0 {
+		st.CellChangesPerHour = float64(changes) / hours
+	}
+	return st, nil
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d+%d users over %v: %.2f m/s mean (median %.2f, p90 %.2f), %.0f%% stationary, %d cells, %.1f cell changes/h",
+		s.TrainUsers, s.TestUsers, s.Duration,
+		s.MeanSpeed, s.MedianSpeed, s.P90Speed,
+		s.StationaryShare*100, s.CellsVisited, s.CellChangesPerHour)
+}

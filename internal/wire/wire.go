@@ -1,0 +1,206 @@
+// Package wire defines the gob message protocol spoken by the live PerDNN
+// daemons: the master server (cmd/perdnn-master), edge servers
+// (cmd/perdnn-edge), and mobile clients (cmd/perdnn-client). Every
+// connection carries a stream of request/response Envelope pairs; gob
+// provides the framing.
+//
+// Layer weights are simulated: upload and migration messages declare byte
+// sizes and the receiving daemon realizes the transfer time against its
+// configured link speed (scaled by its time-scale), rather than shipping
+// opaque payloads. This keeps the live path faithful in timing while
+// staying runnable on a laptop.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/geo"
+	"perdnn/internal/gpusim"
+)
+
+// MsgType tags an Envelope.
+type MsgType int
+
+// Message types.
+const (
+	// Client -> master.
+	MsgRegister MsgType = iota + 1
+	MsgTrajectory
+	MsgPlanRequest
+	// Master -> client.
+	MsgPlanResponse
+	// Master -> edge (and edge replies).
+	MsgStatsRequest
+	MsgStatsResponse
+	MsgMigrateRequest
+	// Client/edge -> edge.
+	MsgUploadLayers
+	MsgExecRequest
+	MsgExecResponse
+	MsgHasRequest
+	MsgHasResponse
+	// Generic acknowledgment.
+	MsgAck
+)
+
+// Envelope is the single wire message; exactly the field matching Type is
+// set.
+type Envelope struct {
+	Type MsgType
+
+	Register   *Register   `json:"register,omitempty"`
+	Trajectory *Trajectory `json:"trajectory,omitempty"`
+	PlanReq    *PlanReq    `json:"planReq,omitempty"`
+	PlanResp   *PlanResp   `json:"planResp,omitempty"`
+	Stats      *StatsMsg   `json:"stats,omitempty"`
+	Migrate    *Migrate    `json:"migrate,omitempty"`
+	Upload     *Upload     `json:"upload,omitempty"`
+	ExecReq    *ExecReq    `json:"execReq,omitempty"`
+	ExecResp   *ExecResp   `json:"execResp,omitempty"`
+	Has        *Has        `json:"has,omitempty"`
+	Ack        *Ack        `json:"ack,omitempty"`
+}
+
+// Register announces a client and its model to the master. The model is
+// identified by zoo name; the DNN profile is reconstructed server-side
+// (uploading hyperparameters only, never weights — Section III.B).
+type Register struct {
+	ClientID int
+	Model    dnn.ModelName
+}
+
+// Trajectory reports a client's recent locations to the master.
+type Trajectory struct {
+	ClientID int
+	Points   []geo.Point
+}
+
+// PlanReq asks the master for a current partitioning plan against an edge
+// server.
+type PlanReq struct {
+	ClientID int
+	Server   geo.ServerID
+}
+
+// PlanResp carries a partitioning plan: the server-side layer IDs in upload
+// order plus the estimate it was derived from.
+type PlanResp struct {
+	ServerLayers []dnn.LayerID
+	UploadOrder  [][]dnn.LayerID // schedule units, highest efficiency first
+	Slowdown     float64
+	EstLatencyNs int64
+}
+
+// StatsMsg carries a GPU statistics sample (request has a nil sample).
+type StatsMsg struct {
+	Sample *gpusim.Stats
+}
+
+// Migrate instructs an edge server to push a client's cached layers to a
+// peer edge server.
+type Migrate struct {
+	ClientID int
+	Layers   []dnn.LayerID
+	PeerAddr string
+	// CapBytes limits the transfer (fractional migration); <= 0 is
+	// unlimited.
+	CapBytes int64
+}
+
+// Upload declares layer weights arriving at an edge server (from a client
+// or a peer).
+type Upload struct {
+	ClientID int
+	Layers   []dnn.LayerID
+	Bytes    int64
+}
+
+// ExecReq asks an edge server to execute the server-side part of a query.
+type ExecReq struct {
+	ClientID int
+	// ServerBaseNs is the contention-free execution time of the offloaded
+	// layers; Intensity their memory intensity.
+	ServerBaseNs int64
+	Intensity    float64
+	// InputBytes is the activation payload size (transfer realized by the
+	// server against its link model).
+	InputBytes int64
+}
+
+// ExecResp reports the simulated server execution.
+type ExecResp struct {
+	ExecNs      int64
+	OutputBytes int64
+}
+
+// Has asks which of the listed layers an edge server caches for a client;
+// the response reuses the struct with the subset present.
+type Has struct {
+	ClientID int
+	Layers   []dnn.LayerID
+}
+
+// Ack is a generic success/failure reply.
+type Ack struct {
+	OK    bool
+	Error string
+}
+
+// Conn wraps a TCP connection with gob encoding and deadlines.
+type Conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(e *Envelope) error {
+	if err := c.c.SetWriteDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		return fmt.Errorf("wire: set deadline: %w", err)
+	}
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	if err := c.c.SetReadDeadline(time.Now().Add(60 * time.Second)); err != nil {
+		return nil, fmt.Errorf("wire: set deadline: %w", err)
+	}
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &e, nil
+}
+
+// RoundTrip sends a request and reads the reply.
+func (c *Conn) RoundTrip(e *Envelope) (*Envelope, error) {
+	if err := c.Send(e); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }

@@ -1,0 +1,242 @@
+// Package perdnn is the public API of this PerDNN reproduction — a system
+// for offloading DNN inference from mobile clients to pervasive edge
+// servers with GPU-aware partitioning and mobility-driven proactive layer
+// migration (Jeong et al., "PerDNN: Offloading Deep Neural Network
+// Computations to Pervasive Edge Servers", ICDCS 2020).
+//
+// The package re-exports the library's building blocks:
+//
+//   - DNN models: a layer-DAG representation and a zoo reconstructing the
+//     paper's three evaluation models (Table I).
+//   - Execution profiles: per-layer latencies for the paper's client board
+//     and GPU edge server.
+//   - Partitioning: the Fig 5 shortest-path partitioner, the exact plan
+//     evaluator, and the efficiency-first upload schedule.
+//   - GPU simulation and estimation: a contended-GPU simulator with
+//     nvml-style statistics, and the random-forest execution-time
+//     estimator with its NeuroSurgeon-style baselines (Fig 4).
+//   - Mobility: synthetic KAIST/Geolife-like trajectory datasets and the
+//     Markov / linear-SVR / LSTM predictors (Table III, Fig 6).
+//   - Simulation: single-client scenarios (Fig 1, Fig 7, Table II) and the
+//     large-scale city simulation (Fig 9, backhaul traffic, Fig 10).
+//   - A live runtime: master / edge / client daemons speaking a gob
+//     protocol over TCP (cmd/perdnn-master, cmd/perdnn-edge,
+//     cmd/perdnn-client).
+//
+// Quick start:
+//
+//	model, _ := perdnn.LoadModel(perdnn.ModelInception)
+//	prof := perdnn.NewProfile(model)
+//	plan, _ := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+//	fmt.Println(plan) // which layers run where, and the expected latency
+package perdnn
+
+import (
+	"perdnn/internal/core"
+	"perdnn/internal/dnn"
+	"perdnn/internal/edgesim"
+	"perdnn/internal/estimator"
+	"perdnn/internal/geo"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/mobility"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+	"perdnn/internal/simnet"
+	"perdnn/internal/trace"
+)
+
+// Re-exported model types.
+type (
+	// Model is a DNN as a topologically ordered layer DAG.
+	Model = dnn.Model
+	// ModelName names a zoo model.
+	ModelName = dnn.ModelName
+	// Layer is one DNN layer with hyperparameters and sizes.
+	Layer = dnn.Layer
+	// LayerID indexes a layer within its model.
+	LayerID = dnn.LayerID
+)
+
+// Zoo model names (Table I).
+const (
+	ModelMobileNet = dnn.ModelMobileNet
+	ModelInception = dnn.ModelInception
+	ModelResNet    = dnn.ModelResNet
+)
+
+// Re-exported profiling and partitioning types.
+type (
+	// Device is an execution profile of one piece of hardware.
+	Device = profile.Device
+	// ModelProfile is the paper's "DNN profile": layer times and sizes,
+	// no weights.
+	ModelProfile = profile.ModelProfile
+	// Link is a client-server network link.
+	Link = partition.Link
+	// Plan assigns each layer to the client or the server.
+	Plan = partition.Plan
+	// UploadUnit is one step of the efficiency-first upload schedule.
+	UploadUnit = partition.UploadUnit
+	// Split prices a fixed assignment for simulation.
+	Split = partition.Split
+)
+
+// Re-exported estimation types.
+type (
+	// GPUStats is an nvml-style GPU statistics sample.
+	GPUStats = gpusim.Stats
+	// GPU is a simulated shared edge GPU.
+	GPU = gpusim.GPU
+	// ServerEstimator predicts contention slowdown from GPU statistics.
+	ServerEstimator = estimator.ServerEstimator
+)
+
+// Re-exported geography and mobility types.
+type (
+	// Point is a planar position in meters.
+	Point = geo.Point
+	// ServerID identifies a placed edge server.
+	ServerID = geo.ServerID
+	// Placement maps locations to edge servers on a hexagonal grid.
+	Placement = geo.Placement
+	// Dataset is a mobility corpus with train/test splits.
+	Dataset = trace.Dataset
+	// Trajectory is one user's sampled track.
+	Trajectory = trace.Trajectory
+	// Predictor ranks a client's likely next edge servers.
+	Predictor = mobility.Predictor
+	// SVR is the paper's linear support vector regressor.
+	SVR = mobility.SVR
+	// Markov is the prediction-suffix-tree baseline.
+	Markov = mobility.Markov
+	// LSTM is the recurrent baseline.
+	LSTM = mobility.LSTM
+)
+
+// Re-exported control-plane and simulation types.
+type (
+	// Planner produces GPU-aware partitioning plans with caching.
+	Planner = core.Planner
+	// PlanEntry bundles a plan with its upload schedule.
+	PlanEntry = core.PlanEntry
+	// MigrationPolicy decides proactive migration targets and caps.
+	MigrationPolicy = core.MigrationPolicy
+	// Env is a prepared large-scale simulation environment.
+	Env = edgesim.Env
+	// CityConfig / CityResult parameterize and report city runs.
+	CityConfig = edgesim.CityConfig
+	CityResult = edgesim.CityResult
+	// SingleConfig / SingleResult cover the single-client experiments.
+	SingleConfig = edgesim.SingleConfig
+	SingleResult = edgesim.SingleResult
+	// TrafficAccount is the per-server backhaul ledger.
+	TrafficAccount = simnet.TrafficAccount
+)
+
+// Simulation modes (Fig 9's bars, plus the Section III.A routing
+// alternative).
+const (
+	ModeIONN    = edgesim.ModeIONN
+	ModePerDNN  = edgesim.ModePerDNN
+	ModeOptimal = edgesim.ModeOptimal
+	ModeRouting = edgesim.ModeRouting
+)
+
+// Multi-DNN upload strategies (the Section VI extension).
+const (
+	UploadSequential = edgesim.UploadSequential
+	UploadJoint      = edgesim.UploadJoint
+)
+
+// Multi-DNN client types.
+type (
+	// MultiConfig / MultiResult cover clients running several DNNs at once.
+	MultiConfig = edgesim.MultiConfig
+	MultiResult = edgesim.MultiResult
+)
+
+// RunMultiDNN simulates a client running several DNNs concurrently while
+// uploading them over one uplink.
+func RunMultiDNN(cfg MultiConfig) (*MultiResult, error) { return edgesim.RunMultiDNN(cfg) }
+
+// MultiDefaults returns the two-model multi-DNN configuration.
+func MultiDefaults(strategy edgesim.UploadStrategy) MultiConfig {
+	return edgesim.DefaultMultiConfig(strategy)
+}
+
+// LoadModel builds a zoo model by name.
+func LoadModel(name ModelName) (*Model, error) { return dnn.ZooModel(name) }
+
+// ModelNames lists the zoo models in Table I order.
+func ModelNames() []ModelName { return dnn.ZooNames() }
+
+// ClientDevice returns the paper's client board profile (ODROID XU4).
+func ClientDevice() Device { return profile.ClientODROID() }
+
+// ServerDevice returns the paper's edge server profile (Titan Xp).
+func ServerDevice() Device { return profile.ServerTitanXp() }
+
+// NewProfile profiles a model on the paper's client and server hardware.
+func NewProfile(m *Model) *ModelProfile {
+	return profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+}
+
+// LabWiFi returns the paper's evaluation link (50 Mbps down / 35 Mbps up).
+func LabWiFi() Link { return partition.LabWiFi() }
+
+// PartitionModel computes the minimum-latency plan for a profile at the
+// given server contention slowdown over the given link (Fig 5).
+func PartitionModel(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
+	return partition.Partition(partition.Request{Profile: prof, Slowdown: slowdown, Link: link})
+}
+
+// PartitionModelMinCut computes the exact optimum assignment for arbitrary
+// DAG models via minimum s-t cut (Hu et al., the paper's cited alternative
+// for branchy models).
+func PartitionModelMinCut(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
+	return partition.PartitionMinCut(partition.Request{Profile: prof, Slowdown: slowdown, Link: link})
+}
+
+// UploadSchedule orders a plan's server-side layers for transmission by the
+// efficiency-first strategy of Section III.C.2.
+func UploadSchedule(prof *ModelProfile, plan *Plan) ([]UploadUnit, error) {
+	req := partition.Request{Profile: prof, Slowdown: plan.Slowdown, Link: plan.Link}
+	return partition.UploadSchedule(req, plan)
+}
+
+// TrainEstimator trains the per-server random-forest execution-time
+// estimator on simulated profiling data (Section III.C.1).
+func TrainEstimator(seed int64) (*ServerEstimator, error) {
+	return estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), seed)
+}
+
+// NewPlanner builds the master-side planner for one client model.
+func NewPlanner(prof *ModelProfile, est *ServerEstimator, link Link) (*Planner, error) {
+	return core.NewPlanner(prof, est, link)
+}
+
+// GenerateKAIST generates the KAIST-like campus mobility dataset.
+func GenerateKAIST() (*Dataset, error) { return trace.Generate(trace.KAISTConfig()) }
+
+// GenerateGeolife generates the Geolife-like urban mobility dataset.
+func GenerateGeolife() (*Dataset, error) { return trace.Generate(trace.GeolifeConfig()) }
+
+// PrepareCity prepares a large-scale simulation environment from a base
+// dataset with the paper's default settings (t = 20 s, 50 m cells, n = 5).
+func PrepareCity(base *Dataset) (*Env, error) {
+	return edgesim.PrepareEnv(base, edgesim.DefaultEnvConfig())
+}
+
+// RunCity executes one large-scale simulation run.
+func RunCity(env *Env, cfg CityConfig) (*CityResult, error) { return edgesim.RunCity(env, cfg) }
+
+// CityDefaults returns the paper's city-run settings for a model and mode.
+func CityDefaults(model ModelName, mode edgesim.Mode, radius float64) CityConfig {
+	return edgesim.DefaultCityConfig(model, mode, radius)
+}
+
+// RunSingle executes the single-client scenario (Fig 1 / Fig 7).
+func RunSingle(cfg SingleConfig) (*SingleResult, error) { return edgesim.RunSingle(cfg) }
+
+// SingleDefaults returns the Fig 1 configuration for a model.
+func SingleDefaults(model ModelName) SingleConfig { return edgesim.DefaultSingleConfig(model) }

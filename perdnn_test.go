@@ -1,0 +1,119 @@
+package perdnn_test
+
+import (
+	"testing"
+
+	"perdnn"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m, err := perdnn.LoadModel(perdnn.ModelInception)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := perdnn.NewProfile(m)
+	plan, err := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumServerLayers() == 0 {
+		t.Error("Inception should offload on lab Wi-Fi")
+	}
+	sched, err := perdnn.UploadSchedule(prof, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) == 0 {
+		t.Error("empty schedule")
+	}
+}
+
+func TestFacadeModelNames(t *testing.T) {
+	names := perdnn.ModelNames()
+	if len(names) != 3 {
+		t.Fatalf("got %d models", len(names))
+	}
+	for _, n := range names {
+		m, err := perdnn.LoadModel(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumLayers() == 0 {
+			t.Errorf("%s has no layers", n)
+		}
+	}
+}
+
+func TestFacadeDevices(t *testing.T) {
+	c, s := perdnn.ClientDevice(), perdnn.ServerDevice()
+	if c.GFLOPS >= s.GFLOPS {
+		t.Error("client should be slower than server")
+	}
+}
+
+func TestFacadePlannerFlow(t *testing.T) {
+	m, err := perdnn.LoadModel(perdnn.ModelMobileNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := perdnn.TrainEstimator(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := perdnn.NewPlanner(perdnn.NewProfile(m), est, perdnn.LabWiFi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := perdnn.GPUStats{ActiveClients: 1, KernelUtil: 0.1, MemUtil: 0.05, MemUsedMB: 1200, TempC: 35}
+	e, err := planner.PlanFor(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan == nil {
+		t.Error("nil plan")
+	}
+}
+
+func TestFacadeSingleScenario(t *testing.T) {
+	cfg := perdnn.SingleDefaults(perdnn.ModelMobileNet)
+	res, err := perdnn.RunSingle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != cfg.NumQueries {
+		t.Errorf("got %d queries", len(res.Queries))
+	}
+}
+
+func TestFacadeCityFlow(t *testing.T) {
+	base, err := perdnn.GenerateKAIST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := perdnn.PrepareCity(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := perdnn.CityDefaults(perdnn.ModelMobileNet, perdnn.ModePerDNN, 100)
+	cfg.MaxSteps = 30
+	res, err := perdnn.RunCity(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalQueries == 0 {
+		t.Error("no queries executed")
+	}
+	if _, err := perdnn.GenerateGeolife(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMultiDNN(t *testing.T) {
+	res, err := perdnn.RunMultiDNN(perdnn.MultiDefaults(perdnn.UploadJoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) == 0 {
+		t.Error("no multi-DNN queries")
+	}
+}
