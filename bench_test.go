@@ -211,6 +211,40 @@ func BenchmarkFig9LargeScale(b *testing.B) {
 	b.ReportMetric(hit*100, "hit-%")
 }
 
+// BenchmarkFig9Sweep runs the compact city simulation across the full
+// model × system matrix as one parallel sweep — the concurrent counterpart
+// of BenchmarkFig9LargeScale, and the workload behind perdnn-bench -exp
+// fig9. Reports aggregate hit ratio across the matrix.
+func BenchmarkFig9Sweep(b *testing.B) {
+	env := mustEnv(b)
+	var cfgs []edgesim.CityConfig
+	for _, model := range dnn.ZooNames() {
+		for _, spec := range []struct {
+			mode   edgesim.Mode
+			radius float64
+		}{{edgesim.ModeIONN, 0}, {edgesim.ModePerDNN, 100}, {edgesim.ModeOptimal, 0}} {
+			cfgs = append(cfgs, edgesim.DefaultCityConfig(model, spec.mode, spec.radius))
+		}
+	}
+	runs := edgesim.SweepConfigs(env, cfgs...)
+	var hits, conns float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := edgesim.RunSweep(runs, 0)
+		if err := edgesim.SweepErr(outs); err != nil {
+			b.Fatal(err)
+		}
+		hits, conns = 0, 0
+		for _, o := range outs {
+			hits += float64(o.Result.Hits)
+			conns += float64(o.Result.Connections)
+		}
+	}
+	if conns > 0 {
+		b.ReportMetric(hits/conns*100, "hit-%")
+	}
+}
+
 // BenchmarkFig10Fractional runs the fractional-migration comparison.
 func BenchmarkFig10Fractional(b *testing.B) {
 	env := mustEnv(b)
@@ -300,24 +334,31 @@ func BenchmarkAblationGPUAware(b *testing.B) {
 	b.ReportMetric(advantage, "latency-advantage-x")
 }
 
-// BenchmarkAblationTTL sweeps the layer-cache TTL.
+// BenchmarkAblationTTL sweeps the layer-cache TTL: all TTL settings run as
+// one parallel sweep per iteration.
 func BenchmarkAblationTTL(b *testing.B) {
 	env := mustEnv(b)
-	for _, ttl := range []int{1, 5} {
-		ttl := ttl
-		b.Run("ttl"+itoa(ttl), func(b *testing.B) {
-			var hit float64
-			for i := 0; i < b.N; i++ {
-				cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, 100)
-				cfg.TTLIntervals = ttl
-				res, err := edgesim.RunCity(env, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				hit = res.HitRatio()
-			}
-			b.ReportMetric(hit*100, "hit-%")
-		})
+	ttls := []int{1, 5}
+	var cfgs []edgesim.CityConfig
+	for _, ttl := range ttls {
+		cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, 100)
+		cfg.TTLIntervals = ttl
+		cfgs = append(cfgs, cfg)
+	}
+	runs := edgesim.SweepConfigs(env, cfgs...)
+	hits := make([]float64, len(ttls))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := edgesim.RunSweep(runs, 0)
+		if err := edgesim.SweepErr(outs); err != nil {
+			b.Fatal(err)
+		}
+		for j, o := range outs {
+			hits[j] = o.Result.HitRatio()
+		}
+	}
+	for j, ttl := range ttls {
+		b.ReportMetric(hits[j]*100, "hit-%-ttl"+itoa(ttl))
 	}
 }
 
@@ -335,23 +376,29 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
-// BenchmarkAblationRadius sweeps the migration radius.
+// BenchmarkAblationRadius sweeps the migration radius: all radii run as one
+// parallel sweep per iteration.
 func BenchmarkAblationRadius(b *testing.B) {
 	env := mustEnv(b)
-	for _, r := range []float64{50, 150} {
-		r := r
-		b.Run("r"+itoa(int(r)), func(b *testing.B) {
-			var hit float64
-			for i := 0; i < b.N; i++ {
-				cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, r)
-				res, err := edgesim.RunCity(env, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				hit = res.HitRatio()
-			}
-			b.ReportMetric(hit*100, "hit-%")
-		})
+	radii := []float64{50, 150}
+	var cfgs []edgesim.CityConfig
+	for _, r := range radii {
+		cfgs = append(cfgs, edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, r))
+	}
+	runs := edgesim.SweepConfigs(env, cfgs...)
+	hits := make([]float64, len(radii))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := edgesim.RunSweep(runs, 0)
+		if err := edgesim.SweepErr(outs); err != nil {
+			b.Fatal(err)
+		}
+		for j, o := range outs {
+			hits[j] = o.Result.HitRatio()
+		}
+	}
+	for j, r := range radii {
+		b.ReportMetric(hits[j]*100, "hit-%-r"+itoa(int(r)))
 	}
 }
 

@@ -21,37 +21,50 @@ func placementFor(ds *trace.Dataset) *geo.Placement {
 	return geo.NewPlacement(geo.NewHexGrid(50), ds.AllPoints())
 }
 
-// envs caches the prepared simulation environments per dataset.
-var (
-	envOnce sync.Once
-	envMap  map[string]*edgesim.Env
-	envErr  error
-)
+// cityEnvFns lazily prepares one simulation environment per dataset: an
+// experiment that only touches Geolife never pays for the KAIST prep, and
+// sync.OnceValues makes each entry safe to call from several goroutines.
+var cityEnvFns = map[string]func() (*edgesim.Env, error){
+	"kaist":   sync.OnceValues(func() (*edgesim.Env, error) { return prepareCityEnv(kaistBase) }),
+	"geolife": sync.OnceValues(func() (*edgesim.Env, error) { return prepareCityEnv(geolifeBase) }),
+}
 
-func cityEnv(name string, quick bool) (*edgesim.Env, error) {
-	envOnce.Do(func() {
-		envMap = make(map[string]*edgesim.Env, 2)
-		for _, d := range []struct {
-			name string
-			gen  func() (*trace.Dataset, error)
-		}{{"kaist", kaistBase}, {"geolife", geolifeBase}} {
-			base, err := d.gen()
-			if err != nil {
-				envErr = err
-				return
-			}
-			env, err := edgesim.PrepareEnv(base, edgesim.DefaultEnvConfig())
-			if err != nil {
-				envErr = err
-				return
-			}
-			envMap[d.name] = env
-		}
-	})
-	if envErr != nil {
-		return nil, envErr
+func prepareCityEnv(gen func() (*trace.Dataset, error)) (*edgesim.Env, error) {
+	base, err := gen()
+	if err != nil {
+		return nil, err
 	}
-	return envMap[name], nil
+	return edgesim.PrepareEnv(base, edgesim.DefaultEnvConfig())
+}
+
+func cityEnv(name string) (*edgesim.Env, error) {
+	fn, ok := cityEnvFns[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	return fn()
+}
+
+// cityEnvsFor prepares several dataset environments concurrently and returns
+// them in input order.
+func cityEnvsFor(names ...string) ([]*edgesim.Env, error) {
+	envs := make([]*edgesim.Env, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			envs[i], errs[i] = cityEnv(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return envs, nil
 }
 
 // cityMaxSteps shortens playback in quick mode.
@@ -62,37 +75,52 @@ func cityMaxSteps(quick bool) int {
 	return 0
 }
 
-// runFig9 prints the large-scale simulation results (Fig 9).
+// runFig9 prints the large-scale simulation results (Fig 9). All cells of
+// the dataset × model × system matrix run as one parallel sweep; results
+// print in the fixed paper order regardless of completion order.
 func runFig9(quick bool) error {
-	for _, dataset := range []string{"kaist", "geolife"} {
-		env, err := cityEnv(dataset, quick)
-		if err != nil {
-			return err
+	datasets := []string{"kaist", "geolife"}
+	envs, err := cityEnvsFor(datasets...)
+	if err != nil {
+		return err
+	}
+	specs := []struct {
+		mode   edgesim.Mode
+		radius float64
+	}{
+		{edgesim.ModeIONN, 0},
+		{edgesim.ModePerDNN, 50},
+		{edgesim.ModePerDNN, 100},
+		{edgesim.ModeOptimal, 0},
+	}
+	var runs []edgesim.SweepRun
+	for _, env := range envs {
+		for _, model := range dnn.ZooNames() {
+			for _, spec := range specs {
+				cfg := edgesim.DefaultCityConfig(model, spec.mode, spec.radius)
+				cfg.MaxSteps = cityMaxSteps(quick)
+				runs = append(runs, edgesim.SweepRun{Env: env, Cfg: cfg})
+			}
 		}
+	}
+	outs := edgesim.RunSweep(runs, benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	i := 0
+	for di, dataset := range datasets {
+		env := envs[di]
 		fmt.Printf("--- %s: %d servers, %d clients, mean speed %.1f m/s ---\n",
 			dataset, env.Placement.Len(), len(env.Dataset.Test), env.Dataset.MeanSpeed())
 		fmt.Printf("%-10s %-8s %5s %10s %8s %8s %8s %8s\n",
 			"model", "system", "r", "windowQ", "hit%", "hits", "misses", "partial")
-		for _, model := range dnn.ZooNames() {
-			specs := []struct {
-				mode   edgesim.Mode
-				radius float64
-			}{
-				{edgesim.ModeIONN, 0},
-				{edgesim.ModePerDNN, 50},
-				{edgesim.ModePerDNN, 100},
-				{edgesim.ModeOptimal, 0},
-			}
-			for _, spec := range specs {
-				cfg := edgesim.DefaultCityConfig(model, spec.mode, spec.radius)
-				cfg.MaxSteps = cityMaxSteps(quick)
-				res, err := edgesim.RunCity(env, cfg)
-				if err != nil {
-					return err
-				}
+		for range dnn.ZooNames() {
+			for range specs {
+				res := outs[i].Result
 				fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %8d %8d %8d\n",
-					model, res.Mode, res.Radius, res.WindowQueries,
+					res.Model, res.Mode, res.Radius, res.WindowQueries,
 					res.HitRatio()*100, res.Hits, res.Misses, res.Partials)
+				i++
 			}
 		}
 	}
@@ -103,39 +131,48 @@ func runFig9(quick bool) error {
 func runTraffic(quick bool) error {
 	fmt.Printf("%-10s %-10s %5s %12s %12s %14s\n",
 		"dataset", "model", "r", "peak up", "peak down", "share <100Mbps")
-	for _, dataset := range []string{"kaist", "geolife"} {
-		env, err := cityEnv(dataset, quick)
-		if err != nil {
-			return err
-		}
-		for _, r := range []float64{50, 100} {
+	datasets := []string{"kaist", "geolife"}
+	envs, err := cityEnvsFor(datasets...)
+	if err != nil {
+		return err
+	}
+	radii := []float64{50, 100}
+	var runs []edgesim.SweepRun
+	for _, env := range envs {
+		for _, r := range radii {
 			cfg := edgesim.DefaultCityConfig(dnn.ModelInception, edgesim.ModePerDNN, r)
 			cfg.MaxSteps = cityMaxSteps(quick)
-			res, err := edgesim.RunCity(env, cfg)
-			if err != nil {
-				return err
-			}
-			_, up := res.Traffic.PeakUp()
-			_, down := res.Traffic.PeakDown()
-			fmt.Printf("%-10s %-10s %5.0f %9.0f Mbps %9.0f Mbps %13.0f%%\n",
-				dataset, dnn.ModelInception, r, up/1e6, down/1e6,
-				res.Traffic.ShareUnderBps(100e6)*100)
+			runs = append(runs, edgesim.SweepRun{Env: env, Cfg: cfg})
 		}
+	}
+	outs := edgesim.RunSweep(runs, benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	for i, o := range outs {
+		res := o.Result
+		_, up := res.Traffic.PeakUp()
+		_, down := res.Traffic.PeakDown()
+		fmt.Printf("%-10s %-10s %5.0f %9.0f Mbps %9.0f Mbps %13.0f%%\n",
+			datasets[i/len(radii)], dnn.ModelInception, res.Radius, up/1e6, down/1e6,
+			res.Traffic.ShareUnderBps(100e6)*100)
 	}
 	fmt.Println("\npaper: KAIST Inception peak 616/205 Mbps, Geolife 667/359 Mbps;")
 	fmt.Println("       60~70% of servers needed less than 100 Mbps.")
 	return nil
 }
 
-// runFig10 prints the fractional-migration results (Fig 10).
+// runFig10 prints the fractional-migration results (Fig 10). The two
+// model/cap specs are independent pairs of runs, so they execute
+// concurrently and print in spec order.
 func runFig10(quick bool) error {
-	env, err := cityEnv("kaist", quick)
+	env, err := cityEnv("kaist")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-10s %-10s %12s %12s %10s %10s\n",
 		"model", "cap", "peak full", "peak capped", "peak cut", "query loss")
-	for _, spec := range []struct {
+	specs := []struct {
 		model dnn.ModelName
 		capMB int64
 	}{
@@ -144,13 +181,25 @@ func runFig10(quick bool) error {
 		// already fragments transfers below those sizes.
 		{dnn.ModelInception, 23}, // paper: 43 MB -> 67% peak cut, 2% loss
 		{dnn.ModelResNet, 30},    // paper: 56 MB -> 43% peak cut, 1% loss
-	} {
-		cfg := edgesim.DefaultCityConfig(spec.model, edgesim.ModePerDNN, 100)
-		cfg.MaxSteps = cityMaxSteps(quick)
-		out, err := edgesim.RunFractional(env, cfg, 0.06, spec.capMB<<20)
-		if err != nil {
-			return err
+	}
+	outs := make([]*edgesim.FractionalOutcome, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, model dnn.ModelName, capMB int64) {
+			defer wg.Done()
+			cfg := edgesim.DefaultCityConfig(model, edgesim.ModePerDNN, 100)
+			cfg.MaxSteps = cityMaxSteps(quick)
+			outs[i], errs[i] = edgesim.RunFractional(env, cfg, 0.06, capMB<<20)
+		}(i, spec.model, spec.capMB)
+	}
+	wg.Wait()
+	for i, spec := range specs {
+		if errs[i] != nil {
+			return errs[i]
 		}
+		out := outs[i]
 		_, fullPeak := out.Full.Traffic.PeakUp()
 		_, capPeak := out.Capped.Traffic.PeakUp()
 		fmt.Printf("%-10s %7d MB %7.0f Mbps %7.0f Mbps %9.0f%% %9.1f%%\n",
@@ -239,22 +288,27 @@ func ablationMultiDNN() error {
 // ablationRouting compares PerDNN's re-offloading against the Section III.A
 // alternative of keeping the session and routing through the backhaul.
 func ablationRouting(quick bool) error {
-	env, err := cityEnv("geolife", quick)
+	env, err := cityEnv("geolife")
 	if err != nil {
 		return err
 	}
 	fmt.Println("\n-- ablation: re-offload (PerDNN) vs session routing (Geolife, ResNet) --")
 	fmt.Printf("%-10s %10s %12s %14s %16s\n", "system", "windowQ", "mean lat", "cold starts", "backhaul total")
+	var cfgs []edgesim.CityConfig
 	for _, spec := range []struct {
 		mode   edgesim.Mode
 		radius float64
 	}{{edgesim.ModePerDNN, 100}, {edgesim.ModeRouting, 0}, {edgesim.ModeIONN, 0}} {
 		cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, spec.mode, spec.radius)
 		cfg.MaxSteps = cityMaxSteps(quick)
-		res, err := edgesim.RunCity(env, cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	outs := edgesim.RunSweep(edgesim.SweepConfigs(env, cfgs...), benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		res := o.Result
 		up, _ := res.Traffic.TotalBytes()
 		fmt.Printf("%-10s %10d %12v %14d %13.1f GB\n",
 			res.Mode, res.WindowQueries, res.MeanLatency().Round(time.Millisecond),
@@ -268,23 +322,29 @@ func ablationRouting(quick bool) error {
 // ablationSharedModels quantifies the paper's personalized-model assumption
 // by allowing layer caches to be shared across clients.
 func ablationSharedModels(quick bool) error {
-	env, err := cityEnv("geolife", quick)
+	env, err := cityEnv("geolife")
 	if err != nil {
 		return err
 	}
 	fmt.Println("\n-- ablation: personalized vs shared models (Geolife, ResNet, r=50) --")
 	fmt.Printf("%-14s %8s %10s %16s\n", "models", "hit%", "windowQ", "backhaul total")
-	for _, shared := range []bool{false, true} {
+	variants := []bool{false, true}
+	var cfgs []edgesim.CityConfig
+	for _, shared := range variants {
 		cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, 50)
 		cfg.SharedModelCache = shared
 		cfg.MaxSteps = cityMaxSteps(quick)
-		res, err := edgesim.RunCity(env, cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	outs := edgesim.RunSweep(edgesim.SweepConfigs(env, cfgs...), benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	for i, o := range outs {
+		res := o.Result
 		up, _ := res.Traffic.TotalBytes()
 		name := "personalized"
-		if shared {
+		if variants[i] {
 			name = "shared"
 		}
 		fmt.Printf("%-14s %7.0f%% %10d %13.1f GB\n",
@@ -389,42 +449,58 @@ var estimatorOnceV = sync.OnceValues(func() (*estimator.ServerEstimator, error) 
 
 func estimatorOnce() (*estimator.ServerEstimator, error) { return estimatorOnceV() }
 
-// ablationTTLAndRadius sweeps the TTL and migration radius.
+// ablationTTLAndRadius sweeps the TTL and migration radius. Both sweeps are
+// independent along their axes, so each runs as one parallel batch.
 func ablationTTLAndRadius(quick bool) error {
-	env, err := cityEnv("geolife", quick)
+	env, err := cityEnv("geolife")
 	if err != nil {
 		return err
 	}
 	fmt.Println("\n-- ablation: TTL (Geolife, ResNet, r=100) --")
 	fmt.Printf("%-6s %8s %10s\n", "TTL", "hit%", "windowQ")
-	for _, ttl := range []int{1, 2, 5, 10} {
+	ttls := []int{1, 2, 5, 10}
+	var ttlCfgs []edgesim.CityConfig
+	for _, ttl := range ttls {
 		cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, 100)
 		cfg.TTLIntervals = ttl
 		cfg.MaxSteps = cityMaxSteps(quick)
-		res, err := edgesim.RunCity(env, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-6d %7.0f%% %10d\n", ttl, res.HitRatio()*100, res.WindowQueries)
+		ttlCfgs = append(ttlCfgs, cfg)
 	}
+	outs := edgesim.RunSweep(edgesim.SweepConfigs(env, ttlCfgs...), benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	for i, o := range outs {
+		fmt.Printf("%-6d %7.0f%% %10d\n", ttls[i], o.Result.HitRatio()*100, o.Result.WindowQueries)
+	}
+
 	fmt.Println("\n-- ablation: migration radius r (Geolife, ResNet) --")
 	fmt.Printf("%-6s %8s %10s %12s\n", "r", "hit%", "windowQ", "peak up")
+	var radiusCfgs []edgesim.CityConfig
 	for _, r := range []float64{25, 50, 100, 150, 200} {
 		cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, r)
 		cfg.MaxSteps = cityMaxSteps(quick)
-		res, err := edgesim.RunCity(env, cfg)
-		if err != nil {
-			return err
-		}
+		radiusCfgs = append(radiusCfgs, cfg)
+	}
+	outs = edgesim.RunSweep(edgesim.SweepConfigs(env, radiusCfgs...), benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		res := o.Result
 		_, up := res.Traffic.PeakUp()
-		fmt.Printf("%-6.0f %7.0f%% %10d %7.0f Mbps\n", r, res.HitRatio()*100, res.WindowQueries, up/1e6)
+		fmt.Printf("%-6.0f %7.0f%% %10d %7.0f Mbps\n",
+			res.Radius, res.HitRatio()*100, res.WindowQueries, up/1e6)
 	}
 	return nil
 }
 
-// ablationPredictor plugs different predictors into the full loop.
+// ablationPredictor plugs different predictors into the full loop. Each
+// predictor gets its own copied Env (an Env is immutable once prepared, so
+// variants are copies, never in-place edits), and the copies sweep in
+// parallel.
 func ablationPredictor(quick bool) error {
-	env, err := cityEnv("geolife", quick)
+	env, err := cityEnv("geolife")
 	if err != nil {
 		return err
 	}
@@ -436,6 +512,7 @@ func ablationPredictor(quick bool) error {
 		&mobility.Linear{},
 		&mobility.Markov{},
 	}
+	var runs []edgesim.SweepRun
 	for _, p := range preds {
 		if p != env.Predictor {
 			if err := p.Fit(env.Dataset.Train, env.Placement, 5); err != nil {
@@ -446,11 +523,15 @@ func ablationPredictor(quick bool) error {
 		pEnv.Predictor = p
 		cfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, 100)
 		cfg.MaxSteps = cityMaxSteps(quick)
-		res, err := edgesim.RunCity(&pEnv, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-8s %7.0f%% %10d\n", p.Name(), res.HitRatio()*100, res.WindowQueries)
+		runs = append(runs, edgesim.SweepRun{Env: &pEnv, Cfg: cfg})
+	}
+	outs := edgesim.RunSweep(runs, benchWorkers)
+	if err := edgesim.SweepErr(outs); err != nil {
+		return err
+	}
+	for i, o := range outs {
+		fmt.Printf("%-8s %7.0f%% %10d\n",
+			preds[i].Name(), o.Result.HitRatio()*100, o.Result.WindowQueries)
 	}
 	return nil
 }

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	perdnn-bench [-exp all|table1,fig1,fig4,fig6,fig7,table2,table3,fig9,traffic,fig10,ablations] [-quick]
+//	perdnn-bench [-exp all|table1,fig1,fig4,fig6,fig7,table2,table3,fig9,traffic,fig10,ablations]
+//	             [-quick] [-workers N]
 //
 // -quick shrinks datasets and training budgets so the whole suite finishes
 // in well under a minute; the full run takes several minutes and produces
-// the numbers recorded in EXPERIMENTS.md.
+// the numbers recorded in EXPERIMENTS.md. -workers bounds the sweep worker
+// pool for the city-scale experiments (0 = GOMAXPROCS); results are
+// identical at every worker count.
 package main
 
 import (
@@ -17,10 +20,17 @@ import (
 	"strings"
 )
 
+// benchWorkers bounds the worker pool used by the sweep-based experiments
+// (0 = GOMAXPROCS). Set once from the -workers flag before any experiment
+// runs.
+var benchWorkers int
+
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments to run")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	benchWorkers = *workers
 
 	all := []struct {
 		name string

@@ -1,17 +1,26 @@
-// Command perdnn-sim runs one large-scale PerDNN city simulation and prints
-// its metrics — the programmable counterpart of perdnn-bench's fig9
+// Command perdnn-sim runs large-scale PerDNN city simulations and prints
+// their metrics — the programmable counterpart of perdnn-bench's fig9
 // experiment.
 //
 // Usage:
 //
 //	perdnn-sim [-dataset kaist|geolife] [-model mobilenet|inception|resnet]
-//	           [-mode ionn|perdnn|optimal] [-radius 100] [-ttl 5] [-steps 0]
+//	           [-mode ionn|perdnn|optimal|routing] [-radius 100] [-ttl 5]
+//	           [-steps 0] [-parallel 0]
+//
+// -model, -mode and -radius accept comma-separated lists; the cross product
+// of the lists runs as one sweep on a worker pool of -parallel goroutines
+// (0 = GOMAXPROCS) and prints one summary row per cell, in order. A single
+// cell prints the full detailed report. Results are deterministic and
+// independent of the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"perdnn/internal/dnn"
@@ -26,14 +35,41 @@ func main() {
 	}
 }
 
+func parseMode(s string) (edgesim.Mode, error) {
+	switch s {
+	case "ionn":
+		return edgesim.ModeIONN, nil
+	case "perdnn":
+		return edgesim.ModePerDNN, nil
+	case "optimal":
+		return edgesim.ModeOptimal, nil
+	case "routing":
+		return edgesim.ModeRouting, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func run() error {
 	dataset := flag.String("dataset", "kaist", "mobility dataset: kaist or geolife")
-	model := flag.String("model", "inception", "DNN model: mobilenet, inception, resnet")
-	mode := flag.String("mode", "perdnn", "system: ionn, perdnn, optimal")
-	radius := flag.Float64("radius", 100, "proactive migration radius r in meters")
+	model := flag.String("model", "inception", "DNN model(s): mobilenet, inception, resnet (comma-separated)")
+	mode := flag.String("mode", "perdnn", "system(s): ionn, perdnn, optimal, routing (comma-separated)")
+	radius := flag.String("radius", "100", "proactive migration radius r in meters (comma-separated)")
 	ttl := flag.Int("ttl", 5, "layer cache TTL in prediction intervals")
 	steps := flag.Int("steps", 0, "max trajectory steps (0 = full playback)")
-	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path (single run only)")
 	flag.Parse()
 
 	var tcfg trace.Config
@@ -45,16 +81,30 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
-	var m edgesim.Mode
-	switch *mode {
-	case "ionn":
-		m = edgesim.ModeIONN
-	case "perdnn":
-		m = edgesim.ModePerDNN
-	case "optimal":
-		m = edgesim.ModeOptimal
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+
+	var modes []edgesim.Mode
+	for _, s := range splitList(*mode) {
+		m, err := parseMode(s)
+		if err != nil {
+			return err
+		}
+		modes = append(modes, m)
+	}
+	var radii []float64
+	for _, s := range splitList(*radius) {
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("bad radius %q: %v", s, err)
+		}
+		radii = append(radii, r)
+	}
+	models := splitList(*model)
+	if len(models) == 0 || len(modes) == 0 || len(radii) == 0 {
+		return fmt.Errorf("need at least one model, mode and radius")
+	}
+	cells := len(models) * len(modes) * len(radii)
+	if *csvPath != "" && cells > 1 {
+		return fmt.Errorf("-csv needs a single model/mode/radius cell, got %d", cells)
 	}
 
 	fmt.Printf("generating %s dataset...\n", *dataset)
@@ -72,10 +122,50 @@ func run() error {
 		time.Since(t0).Round(time.Millisecond), env.Placement.Len(),
 		len(env.Dataset.Test), env.Dataset.MeanSpeed())
 
-	cfg := edgesim.DefaultCityConfig(dnn.ModelName(*model), m, *radius)
-	cfg.TTLIntervals = *ttl
-	cfg.MaxSteps = *steps
-	t0 = time.Now()
+	var cfgs []edgesim.CityConfig
+	for _, mn := range models {
+		for _, m := range modes {
+			for _, r := range radii {
+				cfg := edgesim.DefaultCityConfig(dnn.ModelName(mn), m, r)
+				cfg.TTLIntervals = *ttl
+				cfg.MaxSteps = *steps
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+
+	if len(cfgs) == 1 {
+		return runOne(env, cfgs[0], *csvPath)
+	}
+	return runSweep(env, cfgs, *parallel)
+}
+
+// runSweep executes the cross-product sweep concurrently and prints one
+// summary row per cell.
+func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int) error {
+	t0 := time.Now()
+	outs := edgesim.RunSweep(edgesim.SweepConfigs(env, cfgs...), workers)
+	fmt.Printf("\n%d runs swept in %v\n", len(outs), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("%-10s %-8s %5s %10s %8s %12s %12s\n",
+		"model", "system", "r", "windowQ", "hit%", "mean lat", "peak up")
+	for _, o := range outs {
+		if o.Err != nil {
+			fmt.Printf("%-10s %-8s %5.0f  error: %v\n",
+				o.Run.Cfg.Model, o.Run.Cfg.Mode, o.Run.Cfg.Radius, o.Err)
+			continue
+		}
+		res := o.Result
+		_, peakUp := res.Traffic.PeakUp()
+		fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %12v %7.0f Mbps\n",
+			res.Model, res.Mode, res.Radius, res.WindowQueries, res.HitRatio()*100,
+			res.MeanLatency().Round(time.Millisecond), peakUp/1e6)
+	}
+	return edgesim.SweepErr(outs)
+}
+
+// runOne executes a single cell and prints the full report.
+func runOne(env *edgesim.Env, cfg edgesim.CityConfig, csvPath string) error {
+	t0 := time.Now()
 	res, err := edgesim.RunCity(env, cfg)
 	if err != nil {
 		return err
@@ -96,8 +186,8 @@ func run() error {
 		float64(upB)/1e9, float64(downB)/1e9, peakUp/1e6, peakDown/1e6,
 		res.Traffic.ShareUnderBps(100e6)*100)
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
@@ -108,7 +198,7 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("  traffic ledger:       %s\n", *csvPath)
+		fmt.Printf("  traffic ledger:       %s\n", csvPath)
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"perdnn/internal/partition"
+)
+
+// planKey identifies one cached plan computation: the profile identity (a
+// caller-chosen string naming the model and the devices it was profiled
+// on), the client-server link, and the quantized slowdown bucket. Two
+// planners that agree on all three fields must have byte-identical
+// partitioning inputs, so their plans are interchangeable.
+type planKey struct {
+	profile string
+	link    partition.Link
+	bucket  int
+}
+
+// planFlight is one singleflight cache slot: the first caller runs the
+// computation under the Once, every concurrent caller for the same key
+// blocks on it and then reads the settled result.
+type planFlight struct {
+	once  sync.Once
+	entry *PlanEntry
+	err   error
+}
+
+// PlanCache is a concurrency-safe partitioning-plan cache with per-key
+// singleflight: for each (profile, link, slowdown-bucket) key the expensive
+// partition.Partition + partition.UploadSchedule pass runs exactly once,
+// no matter how many goroutines request it at the same time. A failed
+// computation is cached too — planning failures are deterministic functions
+// of the inputs, so retrying cannot succeed.
+//
+// Every Planner owns a private PlanCache by default; concurrent simulation
+// runs of the same model share the process-wide cache (SharedPlans) so a
+// sweep recomputes each distinct plan once per process rather than once
+// per run.
+type PlanCache struct {
+	mu       sync.Mutex
+	flights  map[planKey]*planFlight
+	computes atomic.Int64
+}
+
+// NewPlanCache returns an empty plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{flights: make(map[planKey]*planFlight, 16)}
+}
+
+// sharedPlans is the process-wide cache used by all simulation runs.
+var sharedPlans = NewPlanCache()
+
+// SharedPlans returns the process-wide plan cache. Planners keyed into it
+// (Planner.ShareCache) deduplicate plan computations across concurrent and
+// successive runs of the same model over the same link.
+func SharedPlans() *PlanCache { return sharedPlans }
+
+// flight returns the singleflight slot for k, creating it if needed.
+func (c *PlanCache) flight(k planKey) *planFlight {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.flights[k]
+	if !ok {
+		f = &planFlight{}
+		c.flights[k] = f
+	}
+	return f
+}
+
+// entryFor returns the cached result for k, running compute exactly once
+// per key across all goroutines.
+func (c *PlanCache) entryFor(k planKey, compute func() (*PlanEntry, error)) (*PlanEntry, error) {
+	f := c.flight(k)
+	f.once.Do(func() {
+		c.computes.Add(1)
+		f.entry, f.err = compute()
+	})
+	return f.entry, f.err
+}
+
+// Len returns the number of cached keys (including in-flight ones).
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
+}
+
+// Computes returns how many plan computations actually ran — the cache's
+// miss count. With singleflight it never exceeds the number of distinct
+// keys requested.
+func (c *PlanCache) Computes() int64 { return c.computes.Load() }

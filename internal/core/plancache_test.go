@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+)
+
+// freshPlanner builds a planner with a private, empty cache (the shared
+// testPlanner memoizes across tests, which would hide compute counts).
+func freshPlanner(t *testing.T) *Planner {
+	t.Helper()
+	shared := testPlanner(t) // reuse its trained estimator
+	p, err := NewPlanner(shared.Profile(), shared.est, shared.Link())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlanSingleflight: concurrent requests for one uncached slowdown
+// bucket must run the partition + schedule pass exactly once and hand every
+// caller the same immutable entry.
+func TestPlanSingleflight(t *testing.T) {
+	p := freshPlanner(t)
+	const n = 16
+	entries := make([]*PlanEntry, n)
+	errs := make([]error, n)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < n; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait() // maximize overlap on the same bucket
+			entries[i], errs[i] = p.PlanAtSlowdown(2.3)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if entries[i] != entries[0] {
+			t.Fatalf("caller %d got a different entry", i)
+		}
+	}
+	if got := p.cache.Computes(); got != 1 {
+		t.Errorf("bucket computed %d times, want 1", got)
+	}
+	if got := p.cache.Len(); got != 1 {
+		t.Errorf("cache holds %d keys, want 1", got)
+	}
+}
+
+// TestSharedPlanCacheAcrossPlanners: two planners for the same profile key
+// and link share entries through one PlanCache; a different key does not.
+func TestSharedPlanCacheAcrossPlanners(t *testing.T) {
+	cache := NewPlanCache()
+	a, b := freshPlanner(t), freshPlanner(t)
+	if err := a.ShareCache(cache, "mobilenet|ODROID|TitanXp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ShareCache(cache, "mobilenet|ODROID|TitanXp"); err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.PlanAtSlowdown(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.PlanAtSlowdown(3.1) // same 0.25-wide bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eb {
+		t.Error("planners with one key did not share the cached plan")
+	}
+	if got := cache.Computes(); got != 1 {
+		t.Errorf("shared bucket computed %d times, want 1", got)
+	}
+
+	// A planner under a different key must not see those entries. Build it
+	// on a different model so distinct plans are actually expected.
+	m := dnn.ResNet50()
+	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+	c, err := NewPlanner(prof, a.est, a.Link())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShareCache(cache, "resnet|ODROID|TitanXp"); err != nil {
+		t.Fatal(err)
+	}
+	ec, err := c.PlanAtSlowdown(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec == ea {
+		t.Error("distinct keys shared a cache entry")
+	}
+	if got := cache.Computes(); got != 2 {
+		t.Errorf("cache computes = %d, want 2", got)
+	}
+}
+
+// TestShareCacheValidation: bad arguments are rejected.
+func TestShareCacheValidation(t *testing.T) {
+	p := freshPlanner(t)
+	if err := p.ShareCache(nil, "key"); err == nil {
+		t.Error("nil cache accepted")
+	}
+	if err := p.ShareCache(NewPlanCache(), ""); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+// TestSharedPlansProcessWide: the process-wide cache exists and planners
+// keyed into it under different links stay separate.
+func TestSharedPlansProcessWide(t *testing.T) {
+	if SharedPlans() == nil {
+		t.Fatal("no process-wide plan cache")
+	}
+	a, b := freshPlanner(t), freshPlanner(t)
+	cache := NewPlanCache()
+	if err := a.ShareCache(cache, "k"); err != nil {
+		t.Fatal(err)
+	}
+	// Same key, different link: must not collide.
+	slow := partition.Link{UpBps: 1e6, DownBps: 1e6, RTT: b.link.RTT}
+	b2, err := NewPlanner(b.Profile(), b.est, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.ShareCache(cache, "k"); err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.PlanAtSlowdown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b2.PlanAtSlowdown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea == eb {
+		t.Error("different links shared a plan entry")
+	}
+}

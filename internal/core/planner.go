@@ -11,7 +11,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"perdnn/internal/estimator"
 	"perdnn/internal/gpusim"
@@ -20,6 +19,9 @@ import (
 )
 
 // PlanEntry is a partitioning plan bundled with its upload schedule.
+// Entries are immutable once built and are shared freely across goroutines
+// and across simulation runs (via PlanCache); consumers must not modify
+// the plan or the schedule in place.
 type PlanEntry struct {
 	Plan     *partition.Plan
 	Schedule []partition.UploadUnit
@@ -28,18 +30,25 @@ type PlanEntry struct {
 // Planner produces partitioning plans for one client model against servers
 // whose contention state is described by GPU statistics. Plans are cached
 // by quantized slowdown: the plan space is insensitive to tiny slowdown
-// changes, and the simulator requests plans constantly.
+// changes, and the simulator requests plans constantly. The cache is
+// singleflight — concurrent requests for the same uncached bucket run the
+// partition + schedule pass exactly once — and a planner can opt into a
+// shared process-wide cache (ShareCache) so concurrent runs of the same
+// model stop recomputing identical plans.
+//
+// A Planner is safe for concurrent use after construction.
 type Planner struct {
 	prof *profile.ModelProfile
 	est  *estimator.ServerEstimator
 	link partition.Link
 
-	mu    sync.Mutex
-	cache map[int]*PlanEntry
+	cache *PlanCache
+	key   string // profile identity within cache ("" for a private cache)
 }
 
 // NewPlanner builds a planner for the given model profile, estimator and
-// client-server link.
+// client-server link. The plan cache is private to the planner; use
+// ShareCache to deduplicate work across planners for the same profile.
 func NewPlanner(prof *profile.ModelProfile, est *estimator.ServerEstimator, link partition.Link) (*Planner, error) {
 	if prof == nil || est == nil {
 		return nil, fmt.Errorf("core: planner needs a profile and an estimator")
@@ -48,8 +57,26 @@ func NewPlanner(prof *profile.ModelProfile, est *estimator.ServerEstimator, link
 		prof:  prof,
 		est:   est,
 		link:  link,
-		cache: make(map[int]*PlanEntry, 8),
+		cache: NewPlanCache(),
 	}, nil
+}
+
+// ShareCache points the planner at a shared plan cache under the given
+// profile key. The key must uniquely identify the planning inputs other
+// than the link and slowdown — the model and the devices it was profiled
+// on — because entries are served to every planner presenting the same
+// (key, link) pair. Callers with ad-hoc profiles should keep the default
+// private cache instead.
+func (p *Planner) ShareCache(c *PlanCache, key string) error {
+	if c == nil {
+		return fmt.Errorf("core: nil plan cache")
+	}
+	if key == "" {
+		return fmt.Errorf("core: shared plan cache needs a non-empty profile key")
+	}
+	p.cache = c
+	p.key = key
+	return nil
 }
 
 // Profile returns the model profile the planner was built for.
@@ -86,34 +113,26 @@ func (p *Planner) PlanAtSlowdown(s float64) (*PlanEntry, error) {
 
 func (p *Planner) planAt(slowdown float64) (*PlanEntry, error) {
 	bucket := slowdownBucket(slowdown)
-	p.mu.Lock()
-	if e, ok := p.cache[bucket]; ok {
-		p.mu.Unlock()
-		return e, nil
-	}
-	p.mu.Unlock()
-
-	req := partition.Request{
-		Profile:  p.prof,
-		Slowdown: float64(bucket) / 4,
-		Link:     p.link,
-	}
-	if req.Slowdown < 1 {
-		req.Slowdown = 1
-	}
-	plan, err := partition.Partition(req)
-	if err != nil {
-		return nil, fmt.Errorf("core: planning at slowdown %.2f: %w", slowdown, err)
-	}
-	sched, err := partition.UploadSchedule(req, plan)
-	if err != nil {
-		return nil, fmt.Errorf("core: scheduling at slowdown %.2f: %w", slowdown, err)
-	}
-	e := &PlanEntry{Plan: plan, Schedule: sched}
-	p.mu.Lock()
-	p.cache[bucket] = e
-	p.mu.Unlock()
-	return e, nil
+	key := planKey{profile: p.key, link: p.link, bucket: bucket}
+	return p.cache.entryFor(key, func() (*PlanEntry, error) {
+		req := partition.Request{
+			Profile:  p.prof,
+			Slowdown: float64(bucket) / 4,
+			Link:     p.link,
+		}
+		if req.Slowdown < 1 {
+			req.Slowdown = 1
+		}
+		plan, err := partition.Partition(req)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning at slowdown %.2f: %w", slowdown, err)
+		}
+		sched, err := partition.UploadSchedule(req, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling at slowdown %.2f: %w", slowdown, err)
+		}
+		return &PlanEntry{Plan: plan, Schedule: sched}, nil
+	})
 }
 
 // Request reconstructs the partition request matching a plan entry, for

@@ -57,6 +57,12 @@ func (m Mode) String() string {
 // resampled trajectories, the edge-server placement, the trained mobility
 // predictor, and the trained execution-time estimator. Preparing it is
 // expensive; reuse it across models, modes, and radii.
+//
+// An Env is immutable after PrepareEnv returns: RunCity and RunSweep only
+// read it, every run allocates its own servers, clients, and planner, and
+// the predictor and estimator are read-only at prediction time. One Env may
+// therefore back any number of concurrent runs. Code that wants a variant
+// (e.g. a different Predictor) must copy the struct, never modify it.
 type Env struct {
 	Dataset   *trace.Dataset
 	Interval  time.Duration
@@ -92,20 +98,32 @@ func DefaultEnvConfig() EnvConfig {
 
 // PrepareEnv resamples the dataset, places servers on visited cells, and
 // trains the mobility predictor (linear SVR, the paper's choice) and the
-// GPU execution-time estimator.
+// GPU execution-time estimator. The two training passes are independent and
+// run concurrently; both are seeded, so the prepared Env is deterministic.
 func PrepareEnv(base *trace.Dataset, cfg EnvConfig) (*Env, error) {
 	ds, err := base.Resample(cfg.Interval)
 	if err != nil {
 		return nil, fmt.Errorf("edgesim: preparing env: %w", err)
 	}
 	pl := geo.NewPlacement(geo.NewHexGrid(cfg.CellRadius), ds.AllPoints())
+
+	var (
+		est    *estimator.ServerEstimator
+		estErr error
+		done   = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		est, estErr = estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.Seed)
+	}()
 	svr := &mobility.SVR{Seed: cfg.Seed}
-	if err := svr.Fit(capTrain(ds.Train, cfg.MaxTrainWindows), pl, cfg.HistoryLen); err != nil {
-		return nil, fmt.Errorf("edgesim: training predictor: %w", err)
+	svrErr := svr.Fit(capTrain(ds.Train, cfg.MaxTrainWindows), pl, cfg.HistoryLen)
+	<-done
+	if svrErr != nil {
+		return nil, fmt.Errorf("edgesim: training predictor: %w", svrErr)
 	}
-	est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("edgesim: training estimator: %w", err)
+	if estErr != nil {
+		return nil, fmt.Errorf("edgesim: training estimator: %w", estErr)
 	}
 	return &Env{
 		Dataset:   ds,
@@ -296,9 +314,17 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+	client, server := profile.ClientODROID(), profile.ServerTitanXp()
+	prof := profile.NewModelProfile(m, client, server)
 	planner, err := core.NewPlanner(prof, env.Estimator, cfg.Link)
 	if err != nil {
+		return nil, err
+	}
+	// The profile is a pure function of (model, client device, server
+	// device), so plans keyed by those names plus the link are identical
+	// across runs: share them process-wide instead of recomputing per run.
+	if err := planner.ShareCache(core.SharedPlans(),
+		fmt.Sprintf("%s|%s|%s", m.Name, client.Name, server.Name)); err != nil {
 		return nil, err
 	}
 	traffic, err := simnet.NewTrafficAccount(env.Interval)

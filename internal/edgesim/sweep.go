@@ -1,0 +1,85 @@
+package edgesim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SweepRun pairs a prepared environment with one city-run configuration —
+// one cell of an experiment sweep (dataset × model × mode × radius).
+type SweepRun struct {
+	Env *Env
+	Cfg CityConfig
+}
+
+// SweepOutcome is the result of one sweep cell, stored at the same index
+// as its SweepRun. Exactly one of Result and Err is non-nil.
+type SweepOutcome struct {
+	Run    SweepRun
+	Result *CityResult
+	Err    error
+}
+
+// SweepConfigs builds sweep runs for several configurations against one
+// environment, preserving order.
+func SweepConfigs(env *Env, cfgs ...CityConfig) []SweepRun {
+	runs := make([]SweepRun, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		runs = append(runs, SweepRun{Env: env, Cfg: cfg})
+	}
+	return runs
+}
+
+// RunSweep executes the given simulation runs concurrently on a bounded
+// worker pool and returns their outcomes in input order. workers <= 0 uses
+// GOMAXPROCS. Each run is the same deterministic RunCity call it would be
+// sequentially — environments are read-only, every run owns its servers and
+// planner state, and the shared plan cache returns identical immutable
+// entries to every run — so RunSweep(runs, w) produces byte-identical
+// results for every w, including w = 1.
+//
+// One run's failure does not stop the others; callers inspect per-outcome
+// errors (or use SweepErr for the first one).
+func RunSweep(runs []SweepRun, workers int) []SweepOutcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	out := make([]SweepOutcome, len(runs))
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(runs) {
+					return
+				}
+				res, err := RunCity(runs[i].Env, runs[i].Cfg)
+				out[i] = SweepOutcome{Run: runs[i], Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SweepErr returns the first error among the outcomes, or nil.
+func SweepErr(outs []SweepOutcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}

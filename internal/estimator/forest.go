@@ -3,6 +3,8 @@ package estimator
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // ForestConfig controls random-forest training.
@@ -34,7 +36,19 @@ type Forest struct {
 	oobMAE     float64
 }
 
-// TrainForest trains a random forest on rows x with targets y.
+// treeOut is the full output of one tree's training pass, merged into the
+// forest in tree order so results do not depend on goroutine scheduling.
+type treeOut struct {
+	tree       *regTree
+	importance []float64
+	oobSum     []float64 // prediction on each out-of-bag sample (0 if in-bag)
+	oobSeen    []bool    // whether the sample was out of bag for this tree
+}
+
+// TrainForest trains a random forest on rows x with targets y. Trees are
+// trained concurrently across a worker pool bounded by GOMAXPROCS, each
+// from its own seeded RNG, so training is deterministic for a given
+// ForestConfig regardless of parallelism.
 func TrainForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("estimator: bad training set: %d rows, %d targets", len(x), len(y))
@@ -62,31 +76,57 @@ func TrainForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) 
 		cfg.MaxFeatures = 1
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Per-tree seeds are drawn sequentially from the root seed, so the
+	// ensemble is a pure function of cfg no matter how many workers run.
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, cfg.NumTrees)
+	for t := range seeds {
+		seeds[t] = seedRng.Int63()
+	}
+
+	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, maxFeatures: cfg.MaxFeatures}
+	outs := make([]treeOut, cfg.NumTrees)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				t := next
+				next++
+				mu.Unlock()
+				if t >= cfg.NumTrees {
+					return
+				}
+				outs[t] = trainOneTree(x, y, tc, seeds[t])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in tree order: floating-point accumulation order stays fixed.
 	f := &Forest{
 		trees:      make([]*regTree, 0, cfg.NumTrees),
 		importance: make([]float64, p),
 		nFeatures:  p,
 	}
-	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, maxFeatures: cfg.MaxFeatures}
-	boot := make([]int, len(x))
-	inBag := make([]bool, len(x))
 	oobSum := make([]float64, len(x))
 	oobCnt := make([]int, len(x))
-	for t := 0; t < cfg.NumTrees; t++ {
-		for i := range inBag {
-			inBag[i] = false
+	for t := range outs {
+		f.trees = append(f.trees, outs[t].tree)
+		for j, v := range outs[t].importance {
+			f.importance[j] += v
 		}
-		for i := range boot {
-			boot[i] = rng.Intn(len(x))
-			inBag[boot[i]] = true
-		}
-		tree := buildTree(x, y, boot, tc, rng, f.importance)
-		f.trees = append(f.trees, tree)
-		// Out-of-bag accumulation: samples this tree never saw.
 		for i := range x {
-			if !inBag[i] {
-				oobSum[i] += tree.predict(x[i])
+			if outs[t].oobSeen[i] {
+				oobSum[i] += outs[t].oobSum[i]
 				oobCnt[i]++
 			}
 		}
@@ -105,6 +145,31 @@ func TrainForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) 
 		f.oobMAE = errSum / float64(errN)
 	}
 	return f, nil
+}
+
+// trainOneTree bootstraps, grows, and evaluates one tree with its own RNG.
+func trainOneTree(x [][]float64, y []float64, tc treeConfig, seed int64) treeOut {
+	rng := rand.New(rand.NewSource(seed))
+	boot := make([]int, len(x))
+	inBag := make([]bool, len(x))
+	for i := range boot {
+		boot[i] = rng.Intn(len(x))
+		inBag[boot[i]] = true
+	}
+	out := treeOut{
+		importance: make([]float64, len(x[0])),
+		oobSum:     make([]float64, len(x)),
+		oobSeen:    make([]bool, len(x)),
+	}
+	out.tree = buildTree(x, y, boot, tc, rng, out.importance)
+	// Out-of-bag accumulation: samples this tree never saw.
+	for i := range x {
+		if !inBag[i] {
+			out.oobSum[i] = out.tree.predict(x[i])
+			out.oobSeen[i] = true
+		}
+	}
+	return out
 }
 
 func absFloat(v float64) float64 {

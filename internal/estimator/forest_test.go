@@ -3,6 +3,7 @@ package estimator
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -92,6 +93,43 @@ func TestForestDeterministicWithSeed(t *testing.T) {
 	probe := []float64{0.5, -0.3, 0.2}
 	if f1.Predict(probe) != f2.Predict(probe) {
 		t.Error("forest training is not deterministic")
+	}
+}
+
+// TestForestDeterministicAcrossParallelism: per-tree seeding and ordered
+// merging make training a pure function of the config, whatever the worker
+// count. Train under GOMAXPROCS=1 and a larger setting and compare the
+// ensembles exactly.
+func TestForestDeterministicAcrossParallelism(t *testing.T) {
+	x, y := makeNonlinear(8, 400)
+	cfg := ForestConfig{NumTrees: 12, MaxDepth: 8, MinLeaf: 3, Seed: 5}
+
+	old := runtime.GOMAXPROCS(1)
+	f1, err := TrainForest(x, y, cfg)
+	runtime.GOMAXPROCS(4)
+	f2, err2 := TrainForest(x, y, cfg)
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+
+	probes, _ := makeNonlinear(9, 50)
+	for _, p := range probes {
+		if f1.Predict(p) != f2.Predict(p) {
+			t.Fatal("parallel training changed predictions")
+		}
+	}
+	if f1.OOBMAE() != f2.OOBMAE() {
+		t.Errorf("OOB MAE diverged: %v vs %v", f1.OOBMAE(), f2.OOBMAE())
+	}
+	i1, i2 := f1.Importance(), f2.Importance()
+	for j := range i1 {
+		if i1[j] != i2[j] {
+			t.Errorf("importance[%d] diverged: %v vs %v", j, i1[j], i2[j])
+		}
 	}
 }
 

@@ -121,11 +121,20 @@ type (
 	PlanEntry = core.PlanEntry
 	// MigrationPolicy decides proactive migration targets and caps.
 	MigrationPolicy = core.MigrationPolicy
-	// Env is a prepared large-scale simulation environment.
+	// Env is a prepared large-scale simulation environment. It is
+	// immutable once prepared, so one Env backs any number of concurrent
+	// runs (see RunSweep).
 	Env = edgesim.Env
 	// CityConfig / CityResult parameterize and report city runs.
 	CityConfig = edgesim.CityConfig
 	CityResult = edgesim.CityResult
+	// SweepRun / SweepOutcome are one cell of a parallel experiment sweep
+	// and its result.
+	SweepRun     = edgesim.SweepRun
+	SweepOutcome = edgesim.SweepOutcome
+	// PlanCache is a concurrency-safe partition-plan cache shared across
+	// planners and simulation runs.
+	PlanCache = core.PlanCache
 	// SingleConfig / SingleResult cover the single-client experiments.
 	SingleConfig = edgesim.SingleConfig
 	SingleResult = edgesim.SingleResult
@@ -229,6 +238,26 @@ func PrepareCity(base *Dataset) (*Env, error) {
 
 // RunCity executes one large-scale simulation run.
 func RunCity(env *Env, cfg CityConfig) (*CityResult, error) { return edgesim.RunCity(env, cfg) }
+
+// SweepConfigs builds sweep runs for several configurations against one
+// prepared environment, preserving order.
+func SweepConfigs(env *Env, cfgs ...CityConfig) []SweepRun {
+	return edgesim.SweepConfigs(env, cfgs...)
+}
+
+// RunSweep executes simulation runs concurrently on a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS) and returns outcomes in input order.
+// Results are deterministic and identical at every worker count.
+func RunSweep(runs []SweepRun, workers int) []SweepOutcome {
+	return edgesim.RunSweep(runs, workers)
+}
+
+// SweepErr returns the first error among sweep outcomes, or nil.
+func SweepErr(outs []SweepOutcome) error { return edgesim.SweepErr(outs) }
+
+// SharedPlans returns the process-wide partition-plan cache used by city
+// simulations to share immutable plans across runs.
+func SharedPlans() *PlanCache { return core.SharedPlans() }
 
 // CityDefaults returns the paper's city-run settings for a model and mode.
 func CityDefaults(model ModelName, mode edgesim.Mode, radius float64) CityConfig {
