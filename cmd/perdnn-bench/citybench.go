@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"perdnn/internal/core"
 	"perdnn/internal/dnn"
 	"perdnn/internal/edgesim"
 	"perdnn/internal/estimator"
@@ -112,25 +113,37 @@ func runFig9(quick bool) error {
 		env := envs[di]
 		fmt.Printf("--- %s: %d servers, %d clients, mean speed %.1f m/s ---\n",
 			dataset, env.Placement.Len(), len(env.Dataset.Test), env.Dataset.MeanSpeed())
-		fmt.Printf("%-10s %-8s %5s %10s %8s %8s %8s %8s\n",
-			"model", "system", "r", "windowQ", "hit%", "hits", "misses", "partial")
+		fmt.Printf("%-10s %-8s %5s %10s %8s %8s %8s %8s %10s %10s %10s\n",
+			"model", "system", "r", "windowQ", "hit%", "hits", "misses", "partial",
+			"mean lat", "p95", "p99")
 		for range dnn.ZooNames() {
 			for range specs {
 				res := outs[i].Result
-				fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %8d %8d %8d\n",
+				fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %8d %8d %8d %10v %10v %10v\n",
 					res.Model, res.Mode, res.Radius, res.WindowQueries,
-					res.HitRatio()*100, res.Hits, res.Misses, res.Partials)
+					res.HitRatio()*100, res.Hits, res.Misses, res.Partials,
+					res.MeanLatency().Round(time.Millisecond),
+					res.P95().Round(time.Millisecond), res.P99().Round(time.Millisecond))
 				i++
 			}
 		}
 	}
+	printPlanCacheStats()
 	return nil
+}
+
+// printPlanCacheStats reports the process-wide plan-cache counters — how
+// much the singleflight cache saved across the sweep's runs.
+func printPlanCacheStats() {
+	st := core.SharedPlans().Stats()
+	fmt.Printf("plan cache: %d requests, %d misses, %d hits, %d coalesced (%.0f%% served cached)\n",
+		st.Requests(), st.Misses, st.Hits, st.Coalesced, st.HitRatio()*100)
 }
 
 // runTraffic prints the backhaul traffic statistics (Section IV.B.4).
 func runTraffic(quick bool) error {
-	fmt.Printf("%-10s %-10s %5s %12s %12s %14s\n",
-		"dataset", "model", "r", "peak up", "peak down", "share <100Mbps")
+	fmt.Printf("%-10s %-10s %5s %12s %12s %14s %10s %10s\n",
+		"dataset", "model", "r", "peak up", "peak down", "share <100Mbps", "mean lat", "p95")
 	datasets := []string{"kaist", "geolife"}
 	envs, err := cityEnvsFor(datasets...)
 	if err != nil {
@@ -153,9 +166,10 @@ func runTraffic(quick bool) error {
 		res := o.Result
 		_, up := res.Traffic.PeakUp()
 		_, down := res.Traffic.PeakDown()
-		fmt.Printf("%-10s %-10s %5.0f %9.0f Mbps %9.0f Mbps %13.0f%%\n",
+		fmt.Printf("%-10s %-10s %5.0f %9.0f Mbps %9.0f Mbps %13.0f%% %10v %10v\n",
 			datasets[i/len(radii)], dnn.ModelInception, res.Radius, up/1e6, down/1e6,
-			res.Traffic.ShareUnderBps(100e6)*100)
+			res.Traffic.ShareUnderBps(100e6)*100,
+			res.MeanLatency().Round(time.Millisecond), res.P95().Round(time.Millisecond))
 	}
 	fmt.Println("\npaper: KAIST Inception peak 616/205 Mbps, Geolife 667/359 Mbps;")
 	fmt.Println("       60~70% of servers needed less than 100 Mbps.")

@@ -16,6 +16,7 @@ import (
 
 	"perdnn/internal/dnn"
 	"perdnn/internal/edged"
+	"perdnn/internal/obs"
 )
 
 func main() {
@@ -31,15 +32,34 @@ func run() error {
 	ttl := flag.Duration("ttl", 100*time.Second, "layer cache TTL")
 	timescale := flag.Float64("timescale", 0.01, "wall-time scale for simulated work")
 	seed := flag.Int64("seed", 1, "GPU simulation seed")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
 	cfg := edged.DefaultConfig(dnn.ModelName(*model))
 	cfg.TTL = *ttl
 	cfg.TimeScale = *timescale
 	cfg.GPUSeed = *seed
+	cfg.Logger = obs.NewLogger(os.Stderr, level, "edged")
 	srv, err := edged.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, srv.Metrics())
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := dbg.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "perdnn-edge: closing debug server:", cerr)
+			}
+		}()
+		fmt.Printf("perdnn-edge: debug endpoints on http://%s/metrics and /debug/pprof/\n", dbg.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"perdnn/internal/estimator"
 	"perdnn/internal/geo"
 	"perdnn/internal/master"
+	"perdnn/internal/obs"
 )
 
 // edgeFlags collects repeated -edge values.
@@ -60,6 +61,8 @@ func run() error {
 	listen := flag.String("listen", ":7100", "listen address")
 	radius := flag.Float64("radius", 100, "proactive migration radius r in meters")
 	estimatorPath := flag.String("estimator", "", "load a trained estimator JSON (from perdnn-estimator) instead of training at startup")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
 	var edges edgeFlags
 	flag.Var(&edges, "edge", "edge server as addr@x,y (repeatable)")
 	flag.Parse()
@@ -67,8 +70,13 @@ func run() error {
 	if len(edges) == 0 {
 		return fmt.Errorf("at least one -edge required")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
 	cfg := master.DefaultConfig(edges)
 	cfg.Radius = *radius
+	cfg.Logger = obs.NewLogger(os.Stderr, level, "master")
 	if *estimatorPath != "" {
 		f, err := os.Open(*estimatorPath)
 		if err != nil {
@@ -86,6 +94,18 @@ func run() error {
 	m, err := master.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, m.Metrics())
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := dbg.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "perdnn-master: closing debug server:", cerr)
+			}
+		}()
+		fmt.Printf("perdnn-master: debug endpoints on http://%s/metrics and /debug/pprof/\n", dbg.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -23,8 +23,10 @@ import (
 	"strings"
 	"time"
 
+	"perdnn/internal/core"
 	"perdnn/internal/dnn"
 	"perdnn/internal/edgesim"
+	"perdnn/internal/obs"
 	"perdnn/internal/trace"
 )
 
@@ -70,6 +72,7 @@ func run() error {
 	steps := flag.Int("steps", 0, "max trajectory steps (0 = full playback)")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path (single run only)")
+	eventsPath := flag.String("events", "", "write the runs' event journals as JSONL to this path (deterministic across -parallel)")
 	flag.Parse()
 
 	var tcfg trace.Config
@@ -129,25 +132,68 @@ func run() error {
 				cfg := edgesim.DefaultCityConfig(dnn.ModelName(mn), m, r)
 				cfg.TTLIntervals = *ttl
 				cfg.MaxSteps = *steps
+				cfg.RecordEvents = *eventsPath != ""
 				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
 
 	if len(cfgs) == 1 {
-		return runOne(env, cfgs[0], *csvPath)
+		return runOne(env, cfgs[0], *csvPath, *eventsPath)
 	}
-	return runSweep(env, cfgs, *parallel)
+	return runSweep(env, cfgs, *parallel, *eventsPath)
+}
+
+// cellLabel names one sweep cell for the event journal's Run field.
+func cellLabel(cfg edgesim.CityConfig) string {
+	return fmt.Sprintf("%s|%s|r%.0f", cfg.Model, strings.ToLower(cfg.Mode.String()), cfg.Radius)
+}
+
+// writeEvents exports the runs' journals as one JSONL file, labelled per
+// cell and concatenated in run order — byte-identical at every -parallel.
+func writeEvents(path string, outs []edgesim.SweepOutcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		events := o.Result.Events
+		label := cellLabel(o.Run.Cfg)
+		for i := range events {
+			events[i].Run = label
+		}
+		if err := obs.WriteJSONL(f, events); err != nil {
+			_ = f.Close()
+			return err
+		}
+		total += len(events)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  event journal:        %s (%d events)\n", path, total)
+	return nil
+}
+
+// printCacheStats reports the process-wide plan cache after all runs.
+func printCacheStats() {
+	st := core.SharedPlans().Stats()
+	fmt.Printf("  plan cache:           %d requests (%d misses, %d hits, %d coalesced, %.0f%% served cached)\n",
+		st.Requests(), st.Misses, st.Hits, st.Coalesced, st.HitRatio()*100)
 }
 
 // runSweep executes the cross-product sweep concurrently and prints one
 // summary row per cell.
-func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int) error {
+func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, eventsPath string) error {
 	t0 := time.Now()
 	outs := edgesim.RunSweep(edgesim.SweepConfigs(env, cfgs...), workers)
 	fmt.Printf("\n%d runs swept in %v\n", len(outs), time.Since(t0).Round(time.Millisecond))
-	fmt.Printf("%-10s %-8s %5s %10s %8s %12s %12s\n",
-		"model", "system", "r", "windowQ", "hit%", "mean lat", "peak up")
+	fmt.Printf("%-10s %-8s %5s %10s %8s %12s %12s %12s\n",
+		"model", "system", "r", "windowQ", "hit%", "mean lat", "p95 lat", "peak up")
 	for _, o := range outs {
 		if o.Err != nil {
 			fmt.Printf("%-10s %-8s %5.0f  error: %v\n",
@@ -156,15 +202,22 @@ func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int) error {
 		}
 		res := o.Result
 		_, peakUp := res.Traffic.PeakUp()
-		fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %12v %7.0f Mbps\n",
+		fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %12v %12v %7.0f Mbps\n",
 			res.Model, res.Mode, res.Radius, res.WindowQueries, res.HitRatio()*100,
-			res.MeanLatency().Round(time.Millisecond), peakUp/1e6)
+			res.MeanLatency().Round(time.Millisecond), res.P95().Round(time.Millisecond),
+			peakUp/1e6)
+	}
+	printCacheStats()
+	if eventsPath != "" {
+		if err := writeEvents(eventsPath, outs); err != nil {
+			return err
+		}
 	}
 	return edgesim.SweepErr(outs)
 }
 
 // runOne executes a single cell and prints the full report.
-func runOne(env *edgesim.Env, cfg edgesim.CityConfig, csvPath string) error {
+func runOne(env *edgesim.Env, cfg edgesim.CityConfig, csvPath, eventsPath string) error {
 	t0 := time.Now()
 	res, err := edgesim.RunCity(env, cfg)
 	if err != nil {
@@ -185,6 +238,17 @@ func runOne(env *edgesim.Env, cfg edgesim.CityConfig, csvPath string) error {
 	fmt.Printf("  backhaul:             %.1f GB up / %.1f GB down, peak %.0f / %.0f Mbps, %.0f%% of servers under 100 Mbps\n",
 		float64(upB)/1e9, float64(downB)/1e9, peakUp/1e6, peakDown/1e6,
 		res.Traffic.ShareUnderBps(100e6)*100)
+	fmt.Printf("  migrations:           %d ordered / %d completed, %.1f MB\n",
+		res.Metrics.Counters["migrations_ordered_total"],
+		res.Metrics.Counters["migrations_completed_total"],
+		float64(res.Metrics.Counters["migration_bytes_total"])/1e6)
+	printCacheStats()
+	if eventsPath != "" {
+		out := edgesim.SweepOutcome{Run: edgesim.SweepRun{Env: env, Cfg: cfg}, Result: res}
+		if err := writeEvents(eventsPath, []edgesim.SweepOutcome{out}); err != nil {
+			return err
+		}
+	}
 
 	if csvPath != "" {
 		f, err := os.Create(csvPath)

@@ -20,11 +20,14 @@ type planKey struct {
 
 // planFlight is one singleflight cache slot: the first caller runs the
 // computation under the Once, every concurrent caller for the same key
-// blocks on it and then reads the settled result.
+// blocks on it and then reads the settled result. settled flips to true
+// once the result is in, distinguishing cache hits from coalesced waits in
+// the statistics.
 type planFlight struct {
-	once  sync.Once
-	entry *PlanEntry
-	err   error
+	once    sync.Once
+	settled atomic.Bool
+	entry   *PlanEntry
+	err     error
 }
 
 // PlanCache is a concurrency-safe partitioning-plan cache with per-key
@@ -42,6 +45,10 @@ type PlanCache struct {
 	mu       sync.Mutex
 	flights  map[planKey]*planFlight
 	computes atomic.Int64
+
+	// Request-outcome statistics (see Stats).
+	hits      atomic.Int64
+	coalesced atomic.Int64
 }
 
 // NewPlanCache returns an empty plan cache.
@@ -57,8 +64,9 @@ var sharedPlans = NewPlanCache()
 // successive runs of the same model over the same link.
 func SharedPlans() *PlanCache { return sharedPlans }
 
-// flight returns the singleflight slot for k, creating it if needed.
-func (c *PlanCache) flight(k planKey) *planFlight {
+// flight returns the singleflight slot for k and whether this call created
+// it.
+func (c *PlanCache) flight(k planKey) (f *planFlight, created bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f, ok := c.flights[k]
@@ -66,16 +74,27 @@ func (c *PlanCache) flight(k planKey) *planFlight {
 		f = &planFlight{}
 		c.flights[k] = f
 	}
-	return f
+	return f, !ok
 }
 
 // entryFor returns the cached result for k, running compute exactly once
-// per key across all goroutines.
+// per key across all goroutines. Each request is classified for Stats
+// before it joins the flight: creating the slot is a miss, finding a
+// settled slot is a hit, and finding an in-flight slot is a coalesced wait.
 func (c *PlanCache) entryFor(k planKey, compute func() (*PlanEntry, error)) (*PlanEntry, error) {
-	f := c.flight(k)
+	f, created := c.flight(k)
+	switch {
+	case created:
+		// The miss is counted when the computation actually runs.
+	case f.settled.Load():
+		c.hits.Add(1)
+	default:
+		c.coalesced.Add(1)
+	}
 	f.once.Do(func() {
 		c.computes.Add(1)
 		f.entry, f.err = compute()
+		f.settled.Store(true)
 	})
 	return f.entry, f.err
 }
@@ -91,3 +110,40 @@ func (c *PlanCache) Len() int {
 // miss count. With singleflight it never exceeds the number of distinct
 // keys requested.
 func (c *PlanCache) Computes() int64 { return c.computes.Load() }
+
+// CacheStats summarizes how plan requests were served. Every entryFor call
+// lands in exactly one bucket, so Hits + Misses + Coalesced equals the
+// total number of plan requests.
+type CacheStats struct {
+	// Hits served an already-settled entry without blocking.
+	Hits int64
+	// Misses ran the partition + schedule computation.
+	Misses int64
+	// Coalesced arrived while the computation was in flight and blocked on
+	// it instead of recomputing — the singleflight savings.
+	Coalesced int64
+}
+
+// Requests returns the total number of plan requests the cache served.
+func (s CacheStats) Requests() int64 { return s.Hits + s.Misses + s.Coalesced }
+
+// HitRatio returns the fraction of requests served without computing
+// (hits plus coalesced waits), or 0 with no requests.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Requests()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats returns the cache's request-outcome counters. A request racing the
+// settling of its flight may count as coalesced rather than hit; the sum
+// across buckets is always exact.
+func (c *PlanCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.computes.Load(),
+		Coalesced: c.coalesced.Load(),
+	}
+}

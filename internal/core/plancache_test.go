@@ -55,6 +55,29 @@ func TestPlanSingleflight(t *testing.T) {
 	if got := p.cache.Len(); got != 1 {
 		t.Errorf("cache holds %d keys, want 1", got)
 	}
+	// Every request lands in exactly one stats bucket: one miss ran the
+	// computation, the other n-1 callers either coalesced onto the flight
+	// or hit the settled entry.
+	st := p.cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("stats misses = %d, want 1", st.Misses)
+	}
+	if st.Requests() != n {
+		t.Errorf("stats requests = %d (hits %d + misses %d + coalesced %d), want %d",
+			st.Requests(), st.Hits, st.Misses, st.Coalesced, n)
+	}
+
+	// A later request for the settled bucket is a plain hit.
+	if _, err := p.PlanAtSlowdown(2.3); err != nil {
+		t.Fatal(err)
+	}
+	after := p.cache.Stats()
+	if after.Hits != st.Hits+1 || after.Misses != 1 {
+		t.Errorf("post-settle request: stats went %+v -> %+v, want one more hit", st, after)
+	}
+	if got := after.HitRatio(); got <= 0 || got >= 1 {
+		t.Errorf("hit ratio = %v, want in (0,1)", got)
+	}
 }
 
 // TestSharedPlanCacheAcrossPlanners: two planners for the same profile key
@@ -82,6 +105,10 @@ func TestSharedPlanCacheAcrossPlanners(t *testing.T) {
 	if got := cache.Computes(); got != 1 {
 		t.Errorf("shared bucket computed %d times, want 1", got)
 	}
+	// Sequential requests resolve exactly: a's was the miss, b's a hit.
+	if st := cache.Stats(); st.Misses != 1 || st.Hits != 1 || st.Coalesced != 0 {
+		t.Errorf("stats after two sequential requests = %+v, want 1 miss / 1 hit", st)
+	}
 
 	// A planner under a different key must not see those entries. Build it
 	// on a different model so distinct plans are actually expected.
@@ -103,6 +130,9 @@ func TestSharedPlanCacheAcrossPlanners(t *testing.T) {
 	}
 	if got := cache.Computes(); got != 2 {
 		t.Errorf("cache computes = %d, want 2", got)
+	}
+	if st := cache.Stats(); st.Misses != 2 || st.Requests() != 3 {
+		t.Errorf("stats after three requests over two keys = %+v, want 2 misses of 3", st)
 	}
 }
 

@@ -8,13 +8,15 @@ package edged
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"perdnn/internal/dnn"
 	"perdnn/internal/gpusim"
+	"perdnn/internal/obs"
 	"perdnn/internal/profile"
 	"perdnn/internal/wire"
 )
@@ -33,6 +35,9 @@ type Config struct {
 	TimeScale float64
 	// GPUSeed seeds the simulated GPU.
 	GPUSeed int64
+	// Logger receives the daemon's structured log output; nil defaults to
+	// info-level logging on stderr tagged with component=edged.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns a demo-friendly configuration.
@@ -52,6 +57,8 @@ type Server struct {
 	model *dnn.Model
 	gpu   *gpusim.GPU
 	start time.Time
+	log   *slog.Logger
+	met   *obs.Registry
 
 	mu    sync.Mutex
 	cache map[int]*cacheEntry // by client ID
@@ -75,15 +82,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TTL <= 0 {
 		return nil, errors.New("edged: TTL must be positive")
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, "edged")
+	}
 	return &Server{
 		cfg:    cfg,
 		model:  m,
 		gpu:    gpusim.New(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.GPUSeed),
 		start:  time.Now(),
+		log:    logger,
+		met:    obs.NewRegistry(),
 		cache:  make(map[int]*cacheEntry, 8),
 		closed: make(chan struct{}),
 	}, nil
 }
+
+// Metrics exposes the daemon's metrics registry (requests, uploads, execs,
+// peer migrations) for the -debug-addr endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.met }
 
 // now returns the daemon's virtual time for the GPU model.
 func (s *Server) now() time.Duration { return time.Since(s.start) }
@@ -132,7 +149,7 @@ func (s *Server) Close() error {
 func (s *Server) handle(c *wire.Conn) {
 	defer func() {
 		if err := c.Close(); err != nil {
-			log.Printf("edged: closing conn: %v", err)
+			s.log.Warn("closing conn", "err", err)
 		}
 	}()
 	for {
@@ -140,6 +157,7 @@ func (s *Server) handle(c *wire.Conn) {
 		if err != nil {
 			return // client went away or timed out
 		}
+		s.met.Counter("requests_total").Inc()
 		resp := s.dispatch(req)
 		if err := c.Send(resp); err != nil {
 			return
@@ -190,6 +208,9 @@ func (s *Server) upload(u *wire.Upload) error {
 	if bytes <= 0 {
 		bytes = s.layerBytes(u.Layers)
 	}
+	s.met.Counter("uploads_total").Inc()
+	s.met.Counter("upload_bytes_total").Add(bytes)
+	s.log.Debug("layers uploaded", "client", u.ClientID, "layers", len(u.Layers), "bytes", bytes)
 	s.sleep(time.Duration(float64(bytes) * 8 / s.cfg.LinkBps * float64(time.Second)))
 	s.addLayers(u.ClientID, u.Layers)
 	return nil
@@ -239,6 +260,8 @@ func (s *Server) exec(r *wire.ExecReq) *wire.Envelope {
 	exec := s.gpu.ExecTime(time.Duration(r.ServerBaseNs), r.Intensity, s.now())
 	s.sleep(exec)
 	s.gpu.End()
+	s.met.Counter("execs_total").Inc()
+	s.met.Histogram("exec_ns").ObserveDuration(exec)
 	return &wire.Envelope{Type: wire.MsgExecResponse, ExecResp: &wire.ExecResp{ExecNs: int64(exec)}}
 }
 
@@ -278,13 +301,17 @@ func (s *Server) migrate(m *wire.Migrate) error {
 	if len(send) == 0 {
 		return nil
 	}
+	s.met.Counter("migrations_total").Inc()
+	s.met.Counter("migration_bytes_total").Add(bytes)
+	s.log.Debug("migrating layers", "client", m.ClientID, "peer", m.PeerAddr,
+		"layers", len(send), "bytes", bytes)
 	peer, err := wire.Dial(m.PeerAddr)
 	if err != nil {
 		return fmt.Errorf("edged: migrating to %s: %w", m.PeerAddr, err)
 	}
 	defer func() {
 		if cerr := peer.Close(); cerr != nil {
-			log.Printf("edged: closing peer conn: %v", cerr)
+			s.log.Warn("closing peer conn", "err", cerr)
 		}
 	}()
 	resp, err := peer.RoundTrip(&wire.Envelope{

@@ -10,6 +10,7 @@ import (
 	"perdnn/internal/geo"
 	"perdnn/internal/gpusim"
 	"perdnn/internal/mobility"
+	"perdnn/internal/obs"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/simnet"
@@ -196,6 +197,13 @@ type CityConfig struct {
 	// implicit per-client AP capacity; the ablation shows the effect at
 	// the evaluation's client densities.
 	SharedWireless bool
+	// RecordEvents enables the run's structured event journal: handoffs,
+	// cold starts, partial hits, run-local plan-cache misses, migration
+	// orders/completions, and fractional-migration truncations land in
+	// CityResult.Events in engine order. The journal is a deterministic
+	// function of the configuration, so sweeps that concatenate per-run
+	// journals in run order serialize identically at every worker count.
+	RecordEvents bool
 }
 
 // DefaultCityConfig returns the paper's settings for a model and mode.
@@ -242,6 +250,13 @@ type CityResult struct {
 	SumLatency time.Duration
 	// Latency is the query latency distribution.
 	Latency *LatencyHist
+
+	// Metrics is the run's frozen metrics registry: the counters above plus
+	// migration/plan-cache/backhaul aggregates and a coarse latency
+	// histogram, ready for JSON export.
+	Metrics obs.Snapshot
+	// Events is the run's event journal (nil unless RecordEvents was set).
+	Events []obs.Event
 }
 
 // HitRatio returns hits / (hits + misses), the paper's definition.
@@ -258,6 +273,30 @@ func (r *CityResult) MeanLatency() time.Duration {
 		return 0
 	}
 	return r.SumLatency / time.Duration(r.TotalQueries)
+}
+
+// P50 returns the median query latency (0 with no samples).
+func (r *CityResult) P50() time.Duration {
+	if r.Latency == nil {
+		return 0
+	}
+	return r.Latency.P50()
+}
+
+// P95 returns the 95th-percentile query latency (0 with no samples).
+func (r *CityResult) P95() time.Duration {
+	if r.Latency == nil {
+		return 0
+	}
+	return r.Latency.P95()
+}
+
+// P99 returns the 99th-percentile query latency (0 with no samples).
+func (r *CityResult) P99() time.Duration {
+	if r.Latency == nil {
+		return 0
+	}
+	return r.Latency.P99()
 }
 
 // simServer is one edge server: a GPU, a layer cache, and its AP's
@@ -285,6 +324,41 @@ type simClient struct {
 	chain   bool            // a query chain is running
 }
 
+// simMetrics is the per-run metrics registry with its hot-path metrics
+// resolved once up front (registry lookups take a mutex; the query loop
+// must not).
+type simMetrics struct {
+	reg *obs.Registry
+
+	queries, windowQueries              *obs.Counter
+	connections, hits, misses, partials *obs.Counter
+	migOrdered, migCompleted, migBytes  *obs.Counter
+	truncations, truncatedLayers        *obs.Counter
+	planMisses                          *obs.Counter
+	latency                             *obs.Histogram
+}
+
+// newSimMetrics builds the run-local registry and resolves its metrics.
+func newSimMetrics() *simMetrics {
+	reg := obs.NewRegistry()
+	return &simMetrics{
+		reg:             reg,
+		queries:         reg.Counter("queries_total"),
+		windowQueries:   reg.Counter("queries_window_total"),
+		connections:     reg.Counter("connections_total"),
+		hits:            reg.Counter("cache_hits_total"),
+		misses:          reg.Counter("cache_misses_total"),
+		partials:        reg.Counter("cache_partials_total"),
+		migOrdered:      reg.Counter("migrations_ordered_total"),
+		migCompleted:    reg.Counter("migrations_completed_total"),
+		migBytes:        reg.Counter("migration_bytes_total"),
+		truncations:     reg.Counter("migrations_truncated_total"),
+		truncatedLayers: reg.Counter("migration_truncated_layers_total"),
+		planMisses:      reg.Counter("plan_cache_local_misses_total"),
+		latency:         reg.Histogram("query_latency_ns"),
+	}
+}
+
 // world wires everything together for one run.
 type world struct {
 	eng     *Engine
@@ -297,6 +371,43 @@ type world struct {
 	servers []*simServer
 	clients []*simClient
 	res     *CityResult
+
+	met     *simMetrics
+	journal *obs.Journal // nil unless cfg.RecordEvents
+	// seenPlans tracks run-local plan novelty for the plan_cache_miss
+	// event: the process-wide cache's hit state depends on concurrent
+	// runs, so the journal records "first use within this run" instead,
+	// which is deterministic at every worker count.
+	seenPlans map[*core.PlanEntry]bool
+}
+
+// event appends one journal entry at the current virtual time; a no-op
+// unless the run records events.
+func (w *world) event(t obs.EventType, client int, server, target geo.ServerID, layers int, bytes int64) {
+	if w.journal == nil {
+		return
+	}
+	w.journal.Record(obs.Event{
+		T:      w.eng.Now(),
+		Type:   t,
+		Client: client,
+		Server: int(server),
+		Target: int(target),
+		Layers: layers,
+		Bytes:  bytes,
+	})
+}
+
+// trackPlan notes the first time this run uses a plan entry, feeding the
+// plan_cache_miss metric and journal event.
+func (w *world) trackPlan(entry *core.PlanEntry, client int, sid geo.ServerID) {
+	if w.seenPlans[entry] {
+		return
+	}
+	w.seenPlans[entry] = true
+	w.met.planMisses.Inc()
+	w.event(obs.EventPlanCacheMiss, client, sid, geo.NoServer,
+		len(entry.Plan.ServerLayers()), entry.Plan.ServerBytes())
 }
 
 // RunCity executes one large-scale simulation run.
@@ -333,14 +444,16 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 	}
 
 	w := &world{
-		eng:     NewEngine(),
-		env:     env,
-		cfg:     cfg,
-		model:   m,
-		prof:    prof,
-		planner: planner,
-		servers: make([]*simServer, env.Placement.Len()),
-		clients: make([]*simClient, 0, len(env.Dataset.Test)),
+		eng:       NewEngine(),
+		env:       env,
+		cfg:       cfg,
+		model:     m,
+		prof:      prof,
+		planner:   planner,
+		servers:   make([]*simServer, env.Placement.Len()),
+		clients:   make([]*simClient, 0, len(env.Dataset.Test)),
+		met:       newSimMetrics(),
+		seenPlans: make(map[*core.PlanEntry]bool),
 		res: &CityResult{
 			Model:   cfg.Model,
 			Mode:    cfg.Mode,
@@ -348,6 +461,9 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 			Traffic: traffic,
 			Latency: NewLatencyHist(),
 		},
+	}
+	if cfg.RecordEvents {
+		w.journal = obs.NewJournal()
 	}
 	for i := range w.servers {
 		w.servers[i] = &simServer{
@@ -387,6 +503,13 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 		w.eng.At(time.Duration(step)*env.Interval, func() { w.tick(step) })
 	}
 	w.eng.Run(time.Duration(steps) * env.Interval)
+
+	// Freeze the run's metrics: fold in the quiesced backhaul ledger, then
+	// snapshot the registry. The run is single-threaded, so the snapshot
+	// (and the journal) is a deterministic function of the configuration.
+	w.res.Traffic.RecordMetrics(w.met.reg)
+	w.res.Metrics = w.met.reg.Snapshot()
+	w.res.Events = w.journal.Events()
 	return w.res, nil
 }
 
@@ -408,10 +531,14 @@ func (w *world) tick(k int) {
 			w.cfg.Mode == ModeRouting && c.home != geo.NoServer:
 			// Routing: the client changes APs but keeps its session with
 			// the home server — no cold start, queries pay the backhaul.
+			prev := c.cur
 			c.cur = sid
 			c.connectedAt = now
 			w.res.Connections++
 			w.res.Hits++
+			w.met.connections.Inc()
+			w.met.hits.Inc()
+			w.event(obs.EventHandoff, c.id, prev, sid, 0, 0)
 			w.servers[c.home].store.touch(now, w.storeKey(c.id), w.ttl())
 		case sid != c.cur && sid != geo.NoServer:
 			w.reconnect(c, sid)
@@ -467,11 +594,14 @@ func (w *world) transfer(sid geo.ServerID, base time.Duration, then func()) {
 // chains.
 func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 	now := w.eng.Now()
+	prev := c.cur
 	c.gen++
 	c.cur = sid
 	c.connectedAt = now
 	srv := w.servers[sid]
 	w.res.Connections++
+	w.met.connections.Inc()
+	w.event(obs.EventHandoff, c.id, prev, sid, 0, 0)
 
 	entry, err := w.planner.PlanFor(srv.gpu.Sample(now))
 	if err != nil {
@@ -479,6 +609,7 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 		panic(fmt.Sprintf("edgesim: plan: %v", err))
 	}
 	c.entry = entry
+	w.trackPlan(entry, c.id, sid)
 	planLayers := entry.Plan.ServerLayers()
 
 	c.curSet = NewLayerSet(w.model.NumLayers())
@@ -486,10 +617,13 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 	case ModeOptimal:
 		c.curSet.AddAll(planLayers)
 		w.res.Hits++
+		w.met.hits.Inc()
 	case ModeIONN, ModeRouting:
 		// From scratch: the baseline never reuses cached layers, and a
 		// routing client only ever uploads once (to its home).
 		w.res.Misses++
+		w.met.misses.Inc()
+		w.event(obs.EventColdStart, c.id, sid, geo.NoServer, len(planLayers), 0)
 		c.home = sid
 	case ModePerDNN:
 		cached, ok := srv.store.get(now, w.storeKey(c.id))
@@ -505,10 +639,15 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 		switch {
 		case len(planLayers) == 0 || have == len(planLayers):
 			w.res.Hits++
+			w.met.hits.Inc()
 		case have == 0:
 			w.res.Misses++
+			w.met.misses.Inc()
+			w.event(obs.EventColdStart, c.id, sid, geo.NoServer, len(planLayers), 0)
 		default:
 			w.res.Partials++
+			w.met.partials.Inc()
+			w.event(obs.EventPartialHit, c.id, sid, geo.NoServer, have, 0)
 		}
 		srv.store.touch(now, w.storeKey(c.id), w.ttl())
 	}
@@ -533,6 +672,15 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 		c.chain = true
 		w.issueQuery(c)
 	}
+}
+
+// scheduleLayers counts the layers across a schedule's upload units.
+func scheduleLayers(units []partition.UploadUnit) int {
+	n := 0
+	for _, u := range units {
+		n += len(u.Layers)
+	}
+	return n
 }
 
 // setToMap converts a LayerSet to the map form WithOffloaded consumes.
@@ -586,8 +734,11 @@ func (w *world) issueQuery(c *simClient) {
 		w.res.TotalQueries++
 		w.res.SumLatency += lat
 		w.res.Latency.Add(lat)
+		w.met.queries.Inc()
+		w.met.latency.ObserveDuration(lat)
 		if issue-connectedAt <= w.env.Interval {
 			w.res.WindowQueries++
+			w.met.windowQueries.Inc()
 		}
 		w.eng.After(w.cfg.QueryGap, func() { w.issueQuery(c) })
 	}
@@ -663,7 +814,13 @@ func (w *world) migrate(c *simClient, k int) {
 		if err != nil {
 			panic(fmt.Sprintf("edgesim: future plan: %v", err))
 		}
+		w.trackPlan(entry, c.id, tid)
 		sched := w.policy.TruncateForTransfer(entry.Schedule, c.cur, tid)
+		if dropped := scheduleLayers(entry.Schedule) - scheduleLayers(sched); dropped > 0 {
+			w.met.truncations.Inc()
+			w.met.truncatedLayers.Add(int64(dropped))
+			w.event(obs.EventFractionTruncated, c.id, c.cur, tid, dropped, w.policy.CapBytes(c.cur, tid))
+		}
 
 		// Send what the source has and the target lacks, in schedule order.
 		var send []dnn.LayerID
@@ -689,10 +846,16 @@ func (w *world) migrate(c *simClient, k int) {
 		}
 		w.res.Traffic.AddUp(c.cur, now, bytes)
 		w.res.Traffic.AddDown(tid, now, bytes)
+		w.met.migOrdered.Inc()
+		w.met.migBytes.Add(bytes)
+		w.event(obs.EventMigrationOrdered, c.id, c.cur, tid, len(send), bytes)
 		layers := send
 		key := w.storeKey(c.id)
+		from := c.cur
 		w.eng.After(w.cfg.Backhaul.TransferTime(bytes), func() {
 			dst.store.add(w.eng.Now(), key, layers, w.ttl())
+			w.met.migCompleted.Inc()
+			w.event(obs.EventMigrationCompleted, c.id, from, tid, len(layers), bytes)
 		})
 	}
 }

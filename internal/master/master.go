@@ -8,9 +8,11 @@ package master
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"perdnn/internal/core"
 	"perdnn/internal/dnn"
@@ -18,6 +20,7 @@ import (
 	"perdnn/internal/geo"
 	"perdnn/internal/gpusim"
 	"perdnn/internal/mobility"
+	"perdnn/internal/obs"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/wire"
@@ -47,6 +50,9 @@ type Config struct {
 	// Estimator, when non-nil, is used instead of training one at startup
 	// (load it from perdnn-estimator's JSON output).
 	Estimator *estimator.ServerEstimator
+	// Logger receives the daemon's structured log output; nil defaults to
+	// info-level logging on stderr tagged with component=master.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the paper's parameters for a given edge set.
@@ -68,6 +74,8 @@ type Master struct {
 	edgesByID map[geo.ServerID]EdgeInfo
 	est       *estimator.ServerEstimator
 	predictor mobility.Predictor
+	log       *slog.Logger
+	met       *obs.Registry
 
 	mu       sync.Mutex
 	planners map[dnn.ModelName]*core.Planner
@@ -122,17 +130,27 @@ func New(cfg Config) (*Master, error) {
 		byID[id] = info
 	}
 
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, "master")
+	}
 	return &Master{
 		cfg:       cfg,
 		placement: pl,
 		edgesByID: byID,
 		est:       est,
 		predictor: lin,
+		log:       logger,
+		met:       obs.NewRegistry(),
 		planners:  make(map[dnn.ModelName]*core.Planner, 4),
 		clients:   make(map[int]*clientState, 8),
 		closed:    make(chan struct{}),
 	}, nil
 }
+
+// Metrics exposes the daemon's metrics registry (requests, plans,
+// migration orders) for the -debug-addr endpoint.
+func (m *Master) Metrics() *obs.Registry { return m.met }
 
 // SetPredictor swaps in a trained mobility predictor.
 func (m *Master) SetPredictor(p mobility.Predictor) {
@@ -184,7 +202,7 @@ func (m *Master) Close() error {
 func (m *Master) handle(c *wire.Conn) {
 	defer func() {
 		if err := c.Close(); err != nil {
-			log.Printf("master: closing conn: %v", err)
+			m.log.Warn("closing conn", "err", err)
 		}
 	}()
 	for {
@@ -192,6 +210,7 @@ func (m *Master) handle(c *wire.Conn) {
 		if err != nil {
 			return
 		}
+		m.met.Counter("requests_total").Inc()
 		resp := m.dispatch(req)
 		if err := c.Send(resp); err != nil {
 			return
@@ -235,6 +254,8 @@ func (m *Master) dispatch(req *wire.Envelope) *wire.Envelope {
 // register records a client and builds its planner from the model's DNN
 // profile.
 func (m *Master) register(r *wire.Register) error {
+	m.met.Counter("clients_registered_total").Inc()
+	m.log.Info("client registered", "client", r.ClientID, "model", string(r.Model))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.planners[r.Model]; !ok {
@@ -255,6 +276,7 @@ func (m *Master) register(r *wire.Register) error {
 
 // trajectory updates a client's history and triggers proactive migration.
 func (m *Master) trajectory(t *wire.Trajectory) error {
+	m.met.Counter("trajectory_points_total").Add(int64(len(t.Points)))
 	m.mu.Lock()
 	cs, ok := m.clients[t.ClientID]
 	if !ok {
@@ -292,8 +314,12 @@ func (m *Master) trajectory(t *wire.Trajectory) error {
 	}
 	for _, tid := range targets {
 		if err := m.orderMigration(model, t.ClientID, curAddr, tid); err != nil {
-			log.Printf("master: migration for client %d to server %d: %v", t.ClientID, tid, err)
+			m.met.Counter("migration_errors_total").Inc()
+			m.log.Warn("migration order failed", "client", t.ClientID, "target", int(tid), "err", err)
+			continue
 		}
+		m.met.Counter("migrations_ordered_total").Inc()
+		m.log.Debug("migration ordered", "client", t.ClientID, "target", int(tid))
 	}
 	return nil
 }
@@ -322,7 +348,7 @@ func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string,
 	}
 	defer func() {
 		if cerr := conn.Close(); cerr != nil {
-			log.Printf("master: closing edge conn: %v", cerr)
+			m.log.Warn("closing edge conn", "err", cerr)
 		}
 	}()
 	resp, err := conn.RoundTrip(&wire.Envelope{
@@ -350,7 +376,7 @@ func (m *Master) pingStats(addr string) (*gpusim.Stats, error) {
 	}
 	defer func() {
 		if cerr := conn.Close(); cerr != nil {
-			log.Printf("master: closing stats conn: %v", cerr)
+			m.log.Warn("closing stats conn", "err", cerr)
 		}
 	}()
 	resp, err := conn.RoundTrip(&wire.Envelope{Type: wire.MsgStatsRequest})
@@ -365,6 +391,9 @@ func (m *Master) pingStats(addr string) (*gpusim.Stats, error) {
 
 // plan computes a current partitioning plan for a client against a server.
 func (m *Master) plan(r *wire.PlanReq) (*wire.PlanResp, error) {
+	start := time.Now()
+	defer func() { m.met.Histogram("plan_latency_ns").ObserveDuration(time.Since(start)) }()
+	m.met.Counter("plan_requests_total").Inc()
 	m.mu.Lock()
 	cs, ok := m.clients[r.ClientID]
 	if !ok {

@@ -7,11 +7,13 @@ package mobile
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
+	"perdnn/internal/obs"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/wire"
@@ -28,6 +30,9 @@ type Config struct {
 	// TimeScale compresses client-side execution into wall time, matching
 	// the edge daemons' scale.
 	TimeScale float64
+	// Logger receives the client's structured log output; nil defaults to
+	// info-level logging on stderr tagged with component=mobile.
+	Logger *slog.Logger
 }
 
 // Client is a connected live client.
@@ -36,6 +41,8 @@ type Client struct {
 	model  *dnn.Model
 	prof   *profile.ModelProfile
 	master *wire.Conn
+	log    *slog.Logger
+	met    *obs.Registry
 
 	// Current attachment.
 	server    geo.ServerID
@@ -56,11 +63,17 @@ func Dial(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, "mobile")
+	}
 	c := &Client{
 		cfg:      cfg,
 		model:    m,
 		prof:     profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp()),
 		master:   conn,
+		log:      logger,
+		met:      obs.NewRegistry(),
 		server:   geo.NoServer,
 		uploaded: make(map[dnn.LayerID]bool, m.NumLayers()),
 	}
@@ -76,6 +89,10 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	return c, nil
 }
+
+// Metrics exposes the client's metrics registry (connects, uploads,
+// queries and their latency distribution).
+func (c *Client) Metrics() *obs.Registry { return c.met }
 
 func ackError(e *wire.Envelope) string {
 	if e.Ack != nil {
@@ -118,10 +135,12 @@ func (c *Client) ReportLocation(p geo.Point) error {
 func (c *Client) Connect(server geo.ServerID, edgeAddr string) error {
 	if c.edge != nil {
 		if err := c.edge.Close(); err != nil {
-			log.Printf("mobile: closing previous edge conn: %v", err)
+			c.log.Warn("closing previous edge conn", "err", err)
 		}
 		c.edge = nil
 	}
+	c.met.Counter("connects_total").Inc()
+	c.log.Info("connecting to edge", "server", int(server), "addr", edgeAddr)
 	resp, err := c.master.RoundTrip(&wire.Envelope{
 		Type:    wire.MsgPlanRequest,
 		PlanReq: &wire.PlanReq{ClientID: c.cfg.ID, Server: server},
@@ -205,6 +224,8 @@ func (c *Client) UploadStep() (bool, error) {
 		for _, id := range missing {
 			c.uploaded[id] = true
 		}
+		c.met.Counter("uploads_total").Inc()
+		c.met.Counter("upload_bytes_total").Add(bytes)
 		c.recomputeSplit()
 		return true, nil
 	}
@@ -247,6 +268,8 @@ func (c *Client) Query() (time.Duration, error) {
 		link := partition.LabWiFi()
 		total += link.UpTime(sp.UpBytes) + time.Duration(resp.ExecResp.ExecNs) + link.DownTime(sp.DownBytes)
 	}
+	c.met.Counter("queries_total").Inc()
+	c.met.Histogram("query_latency_ns").ObserveDuration(total)
 	return total, nil
 }
 

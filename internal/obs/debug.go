@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the live-debug HTTP handler: /metrics serves the
+// registry as expvar-style JSON, and /debug/pprof/ exposes the standard
+// runtime profiles.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			// The header is already out; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug listener (the daemons' -debug-addr).
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// ServeDebug binds addr (e.g. ":0" or "127.0.0.1:6060") and serves the
+// debug mux for reg until Close. It returns after the listener is bound, so
+// Addr is immediately valid.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		return nil, errors.New("obs: debug server needs a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: binding debug listener: %w", err)
+	}
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewDebugMux(reg)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		if serr := d.srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			d.err = serr
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the bound listener address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and waits for the serve goroutine to exit.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	if err == nil {
+		err = d.err
+	}
+	return err
+}

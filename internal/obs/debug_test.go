@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDebugMuxMetricsAndPprof: the debug mux serves the registry as JSON at
+// /metrics and the pprof index at /debug/pprof/.
+func TestDebugMuxMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("exec_requests_total").Add(3)
+	reg.Histogram("exec_latency_ns").Observe(1500)
+	srv := httptest.NewServer(NewDebugMux(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["exec_requests_total"] != 3 {
+		t.Errorf("counter missing from /metrics: %+v", snap)
+	}
+	if h, ok := snap.Histograms["exec_latency_ns"]; !ok || h.Count != 1 {
+		t.Errorf("histogram missing from /metrics: %+v", snap)
+	}
+
+	pprofResp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofBody, err := io.ReadAll(pprofResp.Body)
+	if cerr := pprofResp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", pprofResp.StatusCode)
+	}
+	if len(pprofBody) == 0 {
+		t.Error("/debug/pprof/ returned an empty body")
+	}
+}
+
+// TestServeDebugLifecycle: ServeDebug binds :0, serves, and closes cleanly.
+func TestServeDebugLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("up").Set(1)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + d.Addr() + "/metrics"); err == nil {
+		t.Error("debug server still serving after Close")
+	}
+
+	if _, err := ServeDebug("127.0.0.1:0", nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+}

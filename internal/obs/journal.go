@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventType names one kind of journal event.
+type EventType string
+
+// The journal vocabulary: the simulator's and master's state transitions
+// worth replaying after a run.
+const (
+	// EventHandoff: a client changed edge servers (Server = old, Target =
+	// new; Server is -1 on the first attachment).
+	EventHandoff EventType = "handoff"
+	// EventColdStart: a handoff found none of the plan's server-side layers
+	// cached (the paper's miss; Layers = layers that must be uploaded).
+	EventColdStart EventType = "cold_start"
+	// EventPartialHit: a handoff found some but not all plan layers cached
+	// (Layers = layers already present).
+	EventPartialHit EventType = "partial_hit"
+	// EventPlanCacheMiss: the run requested a partitioning plan it had not
+	// used before (run-local novelty — see the determinism note on Journal).
+	EventPlanCacheMiss EventType = "plan_cache_miss"
+	// EventMigrationOrdered: proactive migration scheduled Bytes of Layers
+	// from Server toward Target.
+	EventMigrationOrdered EventType = "migration_ordered"
+	// EventMigrationCompleted: the ordered transfer finished and the layers
+	// are cached at Target.
+	EventMigrationCompleted EventType = "migration_completed"
+	// EventFractionTruncated: the fractional-migration cap dropped Layers
+	// layers from a transfer to Target (Bytes = the cap).
+	EventFractionTruncated EventType = "fraction_truncated"
+)
+
+// Event is one journal entry. Server and Target are edge-server IDs with -1
+// meaning "none" (they always serialize, since 0 is a valid server);
+// Client, Layers and Bytes are omitted when zero. Run labels the sweep cell
+// that produced the event when journals from several runs are concatenated.
+type Event struct {
+	// T is the virtual (simulation) time of the event in nanoseconds.
+	T time.Duration `json:"t_ns"`
+	// Type is the event kind.
+	Type EventType `json:"type"`
+	// Run labels the originating run in multi-run exports.
+	Run string `json:"run,omitempty"`
+	// Client is the client ID, if the event concerns one.
+	Client int `json:"client,omitempty"`
+	// Server is the primary server (current/source), -1 if none.
+	Server int `json:"server"`
+	// Target is the secondary server (new/destination), -1 if none.
+	Target int `json:"target"`
+	// Layers counts the DNN layers involved.
+	Layers int `json:"layers,omitempty"`
+	// Bytes counts the bytes involved.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// Journal is an append-only structured event log. Record is safe for
+// concurrent use, but the determinism contract is stronger when a journal
+// belongs to one single-threaded simulation run: events then appear in
+// exact engine order, and a sweep that concatenates per-run journals in run
+// order serializes to byte-identical JSONL at every worker count.
+//
+// A nil *Journal is a valid no-op sink, so instrumentation sites can record
+// unconditionally and let the caller decide whether journaling is on.
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Record appends one event. Recording to a nil journal is a no-op.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	j.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 for a nil journal).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Events returns a copy of the recorded events in record order (nil for a
+// nil or empty journal).
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) == 0 {
+		return nil
+	}
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// WriteJSONL writes the journal as one JSON object per line.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, j.Events())
+}
+
+// WriteJSONL writes events as JSONL: one compact JSON object per line, in
+// slice order. Field order is fixed by the Event struct, so identical event
+// slices produce byte-identical output.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("obs: encoding event %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalOrderAndCopy: events come back in record order, and the
+// returned slice is a copy.
+func TestJournalOrderAndCopy(t *testing.T) {
+	j := NewJournal()
+	for i := 0; i < 5; i++ {
+		j.Record(Event{T: time.Duration(i), Type: EventHandoff, Client: i, Server: -1, Target: i})
+	}
+	if j.Len() != 5 {
+		t.Fatalf("len = %d, want 5", j.Len())
+	}
+	evs := j.Events()
+	for i, e := range evs {
+		if e.Client != i || e.T != time.Duration(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	evs[0].Client = 99
+	if j.Events()[0].Client != 0 {
+		t.Error("Events returned a view into the journal, not a copy")
+	}
+}
+
+// TestJournalNilSafe: a nil journal is a valid no-op sink.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(Event{Type: EventColdStart}) // must not panic
+	if j.Len() != 0 || j.Events() != nil {
+		t.Error("nil journal is not empty")
+	}
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil journal wrote %q", buf.String())
+	}
+}
+
+// TestJournalConcurrentRecord: concurrent recording is safe (under -race)
+// and loses nothing.
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := NewJournal()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				j.Record(Event{Type: EventMigrationOrdered, Client: w, Server: -1, Target: -1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := j.Len(); got != workers*perWorker {
+		t.Errorf("recorded %d events, want %d", got, workers*perWorker)
+	}
+}
+
+// TestWriteJSONLDeterministic: identical event slices serialize to
+// byte-identical JSONL, one object per line, zero server IDs included.
+func TestWriteJSONLDeterministic(t *testing.T) {
+	events := []Event{
+		{T: time.Second, Type: EventHandoff, Run: "a", Client: 3, Server: -1, Target: 0},
+		{T: 2 * time.Second, Type: EventMigrationOrdered, Run: "a", Client: 3, Server: 0, Target: 7, Layers: 12, Bytes: 1 << 20},
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteJSONL(&b1, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b2, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("identical slices serialized differently")
+	}
+	lines := strings.Split(strings.TrimRight(b1.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", len(lines), b1.String())
+	}
+	// Target 0 is a valid server and must not be dropped by omitempty.
+	if !strings.Contains(lines[0], `"target":0`) {
+		t.Errorf("line 1 dropped target 0: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"type":"migration_ordered"`) {
+		t.Errorf("line 2 missing type: %s", lines[1])
+	}
+}

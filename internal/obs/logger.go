@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level. Accepted values
+// are debug, info, warn, and error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger returns a leveled text logger tagged with a component name
+// (master, edged, mobile, ...), so interleaved daemon output stays
+// attributable. Records below level are dropped at the handler.
+func NewLogger(w io.Writer, level slog.Level, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("component", component)
+}

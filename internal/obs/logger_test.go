@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestParseLevel: flag values map to slog levels; junk is rejected.
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"debug", slog.LevelDebug},
+		{"info", slog.LevelInfo},
+		{"", slog.LevelInfo},
+		{"WARN", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"Error", slog.LevelError},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+// TestNewLoggerComponentAndLevel: records carry the component tag and
+// records below the handler level are dropped.
+func TestNewLoggerComponentAndLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn, "edged")
+	log.Info("dropped", "k", "v")
+	if buf.Len() != 0 {
+		t.Fatalf("info record passed a warn-level handler: %q", buf.String())
+	}
+	log.Warn("kept", "client", 7)
+	out := buf.String()
+	if !strings.Contains(out, "component=edged") {
+		t.Errorf("record missing component tag: %q", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "client=7") {
+		t.Errorf("record missing message or attrs: %q", out)
+	}
+}

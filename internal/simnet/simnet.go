@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"perdnn/internal/geo"
+	"perdnn/internal/obs"
 )
 
 // Backhaul is the inter-server network: a bandwidth shared per transfer and
@@ -226,6 +227,21 @@ func (a *TrafficAccount) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RecordMetrics publishes the ledger's aggregates as gauges into a metrics
+// registry: total and peak backhaul load plus the number of active servers.
+// Call it on a quiesced ledger (end of a run) so the resulting snapshot is
+// deterministic.
+func (a *TrafficAccount) RecordMetrics(reg *obs.Registry) {
+	up, down := a.TotalBytes()
+	reg.Gauge("backhaul_up_bytes").Set(up)
+	reg.Gauge("backhaul_down_bytes").Set(down)
+	_, peakUp := a.PeakUp()
+	_, peakDown := a.PeakDown()
+	reg.Gauge("backhaul_peak_up_bps").Set(int64(peakUp))
+	reg.Gauge("backhaul_peak_down_bps").Set(int64(peakDown))
+	reg.Gauge("backhaul_active_servers").Set(int64(len(a.ActiveServers())))
 }
 
 // TopByPeakUp returns the k servers with the highest peak uplink rate,
