@@ -3,6 +3,12 @@
 // queries, and reports trajectory points so the master can proactively
 // migrate its layers.
 //
+// The client is fault-tolerant: transient master/edge failures retry with
+// capped exponential backoff (-retries, -retry-base), a severed edge
+// connection is redialed and the upload resumed, and queries against an
+// edge that never recovers degrade to client-local execution instead of
+// hanging (reported as "local fallback"). Ctrl-C cancels cleanly.
+//
 // Usage:
 //
 //	perdnn-client -master 127.0.0.1:7100 -edge 127.0.0.1:7101 -server 0 \
@@ -10,18 +16,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"perdnn/internal/core"
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/mobile"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "perdnn-client:", err)
 		os.Exit(1)
 	}
@@ -35,13 +46,27 @@ func run() error {
 	id := flag.Int("id", 1, "client ID")
 	queries := flag.Int("queries", 10, "queries to run")
 	timescale := flag.Float64("timescale", 0.01, "wall-time scale for simulated work")
+	retries := flag.Int("retries", 0, "max attempts per network operation (0 = default policy)")
+	retryBase := flag.Duration("retry-base", 0, "base backoff delay (0 = default policy)")
 	flag.Parse()
 
-	client, err := mobile.Dial(mobile.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	retry := core.DefaultRetryPolicy()
+	if *retries > 0 {
+		retry.MaxAttempts = *retries
+	}
+	if *retryBase > 0 {
+		retry.BaseDelay = *retryBase
+	}
+
+	client, err := mobile.DialContext(ctx, mobile.Config{
 		ID:         *id,
 		Model:      dnn.ModelName(*model),
 		MasterAddr: *masterAddr,
 		TimeScale:  *timescale,
+		Retry:      &retry,
 	})
 	if err != nil {
 		return err
@@ -52,7 +77,7 @@ func run() error {
 		}
 	}()
 
-	if err := client.Connect(geo.ServerID(*server), *edgeAddr); err != nil {
+	if err := client.ConnectContext(ctx, geo.ServerID(*server), *edgeAddr); err != nil {
 		return err
 	}
 	present, total := client.CacheState()
@@ -66,21 +91,34 @@ func run() error {
 	fmt.Printf("connected to server %d: %d/%d plan layers cached (%s)\n",
 		*server, present, total, state)
 
+	fallbacks := 0
 	for q := 0; q < *queries; q++ {
 		// Interleave upload steps with queries, as the live runtime does.
-		if _, err := client.UploadStep(); err != nil {
+		// An unreachable edge is not fatal here: the query below degrades
+		// to local execution and the next step retries the upload.
+		if _, err := client.UploadStepContext(ctx); err != nil && !errors.Is(err, core.ErrServerDown) {
 			return err
 		}
-		lat, err := client.Query()
-		if err != nil {
+		lat, err := client.QueryContext(ctx)
+		note := ""
+		switch {
+		case errors.Is(err, core.ErrLocalFallback):
+			// Degraded but valid: the whole model ran on the client.
+			note = "  (local fallback)"
+			fallbacks++
+		case err != nil:
 			return err
 		}
 		present, total = client.CacheState()
-		fmt.Printf("query %2d: latency %-10v uploaded %d/%d layers\n",
-			q+1, lat.Round(time.Millisecond), present, total)
-		if err := client.ReportLocation(geo.Point{X: float64(q) * 10}); err != nil {
+		fmt.Printf("query %2d: latency %-10v uploaded %d/%d layers%s\n",
+			q+1, lat.Round(time.Millisecond), present, total, note)
+		if err := client.ReportLocationContext(ctx, geo.Point{X: float64(q) * 10}); err != nil {
 			return err
 		}
+	}
+	if fallbacks > 0 {
+		fmt.Printf("%d/%d queries degraded to local execution (edge unreachable)\n",
+			fallbacks, *queries)
 	}
 	return nil
 }

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"perdnn/internal/estimator"
 	"perdnn/internal/geo"
@@ -111,6 +114,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Ctrl-C / SIGTERM closes the listener; Serve then drains open
+	// connections and returns nil.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		if cerr := m.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "perdnn-master: shutdown:", cerr)
+		}
+	}()
 	fmt.Printf("perdnn-master: serving on %s with %d edge servers (r=%.0fm)\n",
 		ln.Addr(), len(edges), *radius)
 	return m.Serve(ln)

@@ -13,14 +13,22 @@
 // (0 = GOMAXPROCS) and prints one summary row per cell, in order. A single
 // cell prints the full detailed report. Results are deterministic and
 // independent of the worker count.
+//
+// The -fault-* flags inject a deterministic failure model (server outage
+// windows, transient link faults) into every cell; churn shows up as
+// failover/local-fallback counts and server_down events in -events output,
+// still byte-identical at every -parallel.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"perdnn/internal/core"
@@ -73,7 +81,14 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path (single run only)")
 	eventsPath := flag.String("events", "", "write the runs' event journals as JSONL to this path (deterministic across -parallel)")
+	faultSeed := flag.Int64("fault-seed", 1, "failure-model seed")
+	faultOutageProb := flag.Float64("fault-outage-prob", 0, "per-server per-interval outage probability (0 disables outages)")
+	faultOutageIntervals := flag.Int("fault-outage-intervals", 2, "outage length in prediction intervals")
+	faultLinkProb := flag.Float64("fault-link-prob", 0, "per-transfer link fault probability (0 disables link faults)")
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var tcfg trace.Config
 	switch *dataset {
@@ -125,6 +140,21 @@ func run() error {
 		time.Since(t0).Round(time.Millisecond), env.Placement.Len(),
 		len(env.Dataset.Test), env.Dataset.MeanSpeed())
 
+	var faults *edgesim.FaultModel
+	if *faultOutageProb > 0 || *faultLinkProb > 0 {
+		faults = &edgesim.FaultModel{
+			Seed:             *faultSeed,
+			ServerOutageProb: *faultOutageProb,
+			OutageIntervals:  *faultOutageIntervals,
+			LinkFaultProb:    *faultLinkProb,
+		}
+		if err := faults.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("fault injection on: seed=%d outage p=%.3f x%d intervals, link p=%.3f\n",
+			*faultSeed, *faultOutageProb, *faultOutageIntervals, *faultLinkProb)
+	}
+
 	var cfgs []edgesim.CityConfig
 	for _, mn := range models {
 		for _, m := range modes {
@@ -133,15 +163,16 @@ func run() error {
 				cfg.TTLIntervals = *ttl
 				cfg.MaxSteps = *steps
 				cfg.RecordEvents = *eventsPath != ""
+				cfg.Faults = faults
 				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
 
 	if len(cfgs) == 1 {
-		return runOne(env, cfgs[0], *csvPath, *eventsPath)
+		return runOne(ctx, env, cfgs[0], *csvPath, *eventsPath)
 	}
-	return runSweep(env, cfgs, *parallel, *eventsPath)
+	return runSweep(ctx, env, cfgs, *parallel, *eventsPath)
 }
 
 // cellLabel names one sweep cell for the event journal's Run field.
@@ -188,12 +219,12 @@ func printCacheStats() {
 
 // runSweep executes the cross-product sweep concurrently and prints one
 // summary row per cell.
-func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, eventsPath string) error {
+func runSweep(ctx context.Context, env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, eventsPath string) error {
 	t0 := time.Now()
-	outs := edgesim.RunSweep(edgesim.SweepConfigs(env, cfgs...), workers)
+	outs := edgesim.RunSweepContext(ctx, edgesim.SweepConfigs(env, cfgs...), workers)
 	fmt.Printf("\n%d runs swept in %v\n", len(outs), time.Since(t0).Round(time.Millisecond))
-	fmt.Printf("%-10s %-8s %5s %10s %8s %12s %12s %12s\n",
-		"model", "system", "r", "windowQ", "hit%", "mean lat", "p95 lat", "peak up")
+	fmt.Printf("%-10s %-8s %5s %10s %8s %12s %12s %12s %10s\n",
+		"model", "system", "r", "windowQ", "hit%", "mean lat", "p95 lat", "peak up", "churn")
 	for _, o := range outs {
 		if o.Err != nil {
 			fmt.Printf("%-10s %-8s %5.0f  error: %v\n",
@@ -202,10 +233,10 @@ func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, eventsPa
 		}
 		res := o.Result
 		_, peakUp := res.Traffic.PeakUp()
-		fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %12v %12v %7.0f Mbps\n",
+		fmt.Printf("%-10s %-8s %5.0f %10d %7.0f%% %12v %12v %7.0f Mbps %4d/%-4d\n",
 			res.Model, res.Mode, res.Radius, res.WindowQueries, res.HitRatio()*100,
 			res.MeanLatency().Round(time.Millisecond), res.P95().Round(time.Millisecond),
-			peakUp/1e6)
+			peakUp/1e6, res.Failovers, res.LocalFallbacks)
 	}
 	printCacheStats()
 	if eventsPath != "" {
@@ -217,9 +248,9 @@ func runSweep(env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, eventsPa
 }
 
 // runOne executes a single cell and prints the full report.
-func runOne(env *edgesim.Env, cfg edgesim.CityConfig, csvPath, eventsPath string) error {
+func runOne(ctx context.Context, env *edgesim.Env, cfg edgesim.CityConfig, csvPath, eventsPath string) error {
 	t0 := time.Now()
-	res, err := edgesim.RunCity(env, cfg)
+	res, err := edgesim.RunCityContext(ctx, env, cfg)
 	if err != nil {
 		return err
 	}
@@ -242,6 +273,10 @@ func runOne(env *edgesim.Env, cfg edgesim.CityConfig, csvPath, eventsPath string
 		res.Metrics.Counters["migrations_ordered_total"],
 		res.Metrics.Counters["migrations_completed_total"],
 		float64(res.Metrics.Counters["migration_bytes_total"])/1e6)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("  fault churn:          %d server outages, %d failovers, %d local fallbacks\n",
+			res.Metrics.Counters["server_downs_total"], res.Failovers, res.LocalFallbacks)
+	}
 	printCacheStats()
 	if eventsPath != "" {
 		out := edgesim.SweepOutcome{Run: edgesim.SweepRun{Env: env, Cfg: cfg}, Result: res}

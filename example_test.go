@@ -23,15 +23,15 @@ func ExampleLoadModel() {
 	// resnet: 227 layers, 98 MB, 7.73 GFLOPs
 }
 
-// ExamplePartitionModel partitions Inception between the paper's client
-// board and an idle edge server.
-func ExamplePartitionModel() {
+// ExamplePartition partitions Inception between the paper's client board
+// and an idle edge server (the option defaults).
+func ExamplePartition() {
 	m, err := perdnn.LoadModel(perdnn.ModelInception)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	plan, err := perdnn.PartitionModel(perdnn.NewProfile(m), 1.0, perdnn.LabWiFi())
+	plan, err := perdnn.Partition(perdnn.NewProfile(m))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -41,9 +41,9 @@ func ExamplePartitionModel() {
 	// plan[inception]: 301/301 layers on server, 124.7 MB server-side, est 182ms
 }
 
-// ExamplePartitionModel_contention shows the plan shifting back to the
-// client as the server's GPU gets crowded.
-func ExamplePartitionModel_contention() {
+// ExamplePartition_contention shows the plan shifting back to the client
+// as the server's GPU gets crowded.
+func ExamplePartition_contention() {
 	m, err := perdnn.LoadModel(perdnn.ModelMobileNet)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -51,7 +51,7 @@ func ExamplePartitionModel_contention() {
 	}
 	prof := perdnn.NewProfile(m)
 	for _, slowdown := range []float64{1, 500} {
-		plan, err := perdnn.PartitionModel(prof, slowdown, perdnn.LabWiFi())
+		plan, err := perdnn.Partition(prof, perdnn.WithSlowdown(slowdown), perdnn.WithLink(perdnn.LabWiFi()))
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -73,7 +73,7 @@ func ExampleUploadSchedule() {
 		return
 	}
 	prof := perdnn.NewProfile(m)
-	plan, err := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+	plan, err := perdnn.Partition(prof)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

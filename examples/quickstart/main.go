@@ -32,14 +32,14 @@ func run() error {
 	// Partition at three contention levels: idle server, moderately
 	// loaded, and heavily contended.
 	for _, slowdown := range []float64{1, 4, 40} {
-		plan, err := perdnn.PartitionModel(prof, slowdown, perdnn.LabWiFi())
+		plan, err := perdnn.Partition(prof, perdnn.WithSlowdown(slowdown))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("slowdown %5.0fx: %v\n", slowdown, plan)
 	}
 
-	plan, err := perdnn.PartitionModel(prof, 1, perdnn.LabWiFi())
+	plan, err := perdnn.Partition(prof) // defaults: idle server, lab Wi-Fi
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package edged
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"perdnn/internal/core"
 	"perdnn/internal/dnn"
 	"perdnn/internal/gpusim"
 	"perdnn/internal/obs"
@@ -116,7 +118,9 @@ func (s *Server) sleep(d time.Duration) {
 // Serve accepts connections on ln until Close. It returns after the
 // listener fails (normally because Close closed it).
 func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
 	s.ln = ln
+	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -139,8 +143,11 @@ func (s *Server) Serve(ln net.Listener) error {
 // Close stops the daemon.
 func (s *Server) Close() error {
 	close(s.closed)
-	if s.ln != nil {
-		return s.ln.Close()
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
 	}
 	return nil
 }
@@ -305,21 +312,23 @@ func (s *Server) migrate(m *wire.Migrate) error {
 	s.met.Counter("migration_bytes_total").Add(bytes)
 	s.log.Debug("migrating layers", "client", m.ClientID, "peer", m.PeerAddr,
 		"layers", len(send), "bytes", bytes)
-	peer, err := wire.Dial(m.PeerAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), wire.DefaultSendTimeout)
+	defer cancel()
+	peer, err := wire.DialContext(ctx, m.PeerAddr)
 	if err != nil {
-		return fmt.Errorf("edged: migrating to %s: %w", m.PeerAddr, err)
+		return fmt.Errorf("edged: migrating to %s: %w: %w", m.PeerAddr, core.ErrServerDown, err)
 	}
 	defer func() {
 		if cerr := peer.Close(); cerr != nil {
 			s.log.Warn("closing peer conn", "err", cerr)
 		}
 	}()
-	resp, err := peer.RoundTrip(&wire.Envelope{
+	resp, err := peer.RoundTripContext(ctx, &wire.Envelope{
 		Type:   wire.MsgUploadLayers,
 		Upload: &wire.Upload{ClientID: m.ClientID, Layers: send, Bytes: bytes},
 	})
 	if err != nil {
-		return fmt.Errorf("edged: migrating to %s: %w", m.PeerAddr, err)
+		return fmt.Errorf("edged: migrating to %s: %w: %w", m.PeerAddr, core.ErrServerDown, err)
 	}
 	if resp.Ack == nil || !resp.Ack.OK {
 		return fmt.Errorf("edged: peer %s rejected migration", m.PeerAddr)

@@ -1,6 +1,7 @@
 package edgesim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -199,11 +200,17 @@ type CityConfig struct {
 	SharedWireless bool
 	// RecordEvents enables the run's structured event journal: handoffs,
 	// cold starts, partial hits, run-local plan-cache misses, migration
-	// orders/completions, and fractional-migration truncations land in
+	// orders/completions, fractional-migration truncations, and (with a
+	// FaultModel) server outages, failovers, and local fallbacks land in
 	// CityResult.Events in engine order. The journal is a deterministic
 	// function of the configuration, so sweeps that concatenate per-run
 	// journals in run order serialize identically at every worker count.
 	RecordEvents bool
+	// Faults injects server outages, master blackouts, and transient link
+	// spikes into the run (nil = fault-free). The realized fault schedule
+	// is seeded, so faulty runs stay deterministic at every RunSweep
+	// worker count.
+	Faults *FaultModel
 }
 
 // DefaultCityConfig returns the paper's settings for a model and mode.
@@ -242,6 +249,13 @@ type CityResult struct {
 	Hits        int
 	Misses      int
 	Partials    int
+
+	// Failovers counts re-partitions to a live neighbor after the
+	// client's server went down; LocalFallbacks counts degradations to
+	// client-local execution (no live server in reach, or the master was
+	// blacked out during a handoff). Both stay zero without a FaultModel.
+	Failovers      int
+	LocalFallbacks int
 
 	// Traffic is the backhaul ledger (proactive migration only).
 	Traffic *simnet.TrafficAccount
@@ -330,12 +344,13 @@ type simClient struct {
 type simMetrics struct {
 	reg *obs.Registry
 
-	queries, windowQueries              *obs.Counter
-	connections, hits, misses, partials *obs.Counter
-	migOrdered, migCompleted, migBytes  *obs.Counter
-	truncations, truncatedLayers        *obs.Counter
-	planMisses                          *obs.Counter
-	latency                             *obs.Histogram
+	queries, windowQueries               *obs.Counter
+	connections, hits, misses, partials  *obs.Counter
+	migOrdered, migCompleted, migBytes   *obs.Counter
+	truncations, truncatedLayers         *obs.Counter
+	planMisses                           *obs.Counter
+	serverDowns, failovers, localFallbks *obs.Counter
+	latency                              *obs.Histogram
 }
 
 // newSimMetrics builds the run-local registry and resolves its metrics.
@@ -355,6 +370,9 @@ func newSimMetrics() *simMetrics {
 		truncations:     reg.Counter("migrations_truncated_total"),
 		truncatedLayers: reg.Counter("migration_truncated_layers_total"),
 		planMisses:      reg.Counter("plan_cache_local_misses_total"),
+		serverDowns:     reg.Counter("server_downs_total"),
+		failovers:       reg.Counter("failovers_total"),
+		localFallbks:    reg.Counter("local_fallbacks_total"),
 		latency:         reg.Histogram("query_latency_ns"),
 	}
 }
@@ -374,6 +392,8 @@ type world struct {
 
 	met     *simMetrics
 	journal *obs.Journal // nil unless cfg.RecordEvents
+	faults  *faultState  // nil unless cfg.Faults is set
+	srvDown []bool       // per-server outage state, updated at tick time
 	// seenPlans tracks run-local plan novelty for the plan_cache_miss
 	// event: the process-wide cache's hit state depends on concurrent
 	// runs, so the journal records "first use within this run" instead,
@@ -412,6 +432,13 @@ func (w *world) trackPlan(entry *core.PlanEntry, client int, sid geo.ServerID) {
 
 // RunCity executes one large-scale simulation run.
 func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
+	return RunCityContext(context.Background(), env, cfg)
+}
+
+// RunCityContext executes one large-scale simulation run under a context:
+// cancellation (or deadline expiry) is observed at the next movement tick,
+// drains the engine, and surfaces the context error.
+func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult, error) {
 	if env == nil {
 		return nil, fmt.Errorf("edgesim: nil env")
 	}
@@ -420,6 +447,9 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 	}
 	if cfg.TTLIntervals <= 0 || cfg.HistoryLen <= 0 || cfg.QueryGap <= 0 {
 		return nil, fmt.Errorf("edgesim: bad config: ttl=%d n=%d gap=%v", cfg.TTLIntervals, cfg.HistoryLen, cfg.QueryGap)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	m, err := dnn.ZooModel(cfg.Model)
 	if err != nil {
@@ -496,13 +526,27 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 	if cfg.MaxSteps > 0 && steps > cfg.MaxSteps {
 		steps = cfg.MaxSteps
 	}
+	if cfg.Faults.Enabled() {
+		w.faults = newFaultState(cfg.Faults, env.Placement.Len(), steps, env.Interval)
+		w.srvDown = make([]bool, env.Placement.Len())
+	}
 
-	// Movement/prediction ticks.
+	// Movement/prediction ticks. Each tick checks the context so a
+	// canceled run stops within one interval of virtual time.
 	for k := 0; k < steps; k++ {
 		step := k
-		w.eng.At(time.Duration(step)*env.Interval, func() { w.tick(step) })
+		w.eng.At(time.Duration(step)*env.Interval, func() {
+			if ctx.Err() != nil {
+				w.eng.Stop()
+				return
+			}
+			w.tick(step)
+		})
 	}
 	w.eng.Run(time.Duration(steps) * env.Interval)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("edgesim: run canceled: %w", err)
+	}
 
 	// Freeze the run's metrics: fold in the quiesced backhaul ledger, then
 	// snapshot the registry. The run is single-threaded, so the snapshot
@@ -513,9 +557,10 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 	return w.res, nil
 }
 
-// tick advances every client to trajectory step k: movement, reconnection,
-// cache refresh, and (PerDNN) proactive migration.
+// tick advances every client to trajectory step k: fault-state updates,
+// movement, reconnection, cache refresh, and (PerDNN) proactive migration.
 func (w *world) tick(k int) {
+	w.updateFaults()
 	now := w.eng.Now()
 	for _, c := range w.clients {
 		if k >= c.tr.Len() {
@@ -525,6 +570,9 @@ func (w *world) tick(k int) {
 		sid := w.env.Placement.ServerAt(pos)
 		if sid == geo.NoServer {
 			sid = c.cur // hold the previous attachment in a dead zone
+		}
+		if w.faults != nil && w.faultStep(c, sid, pos) {
+			continue
 		}
 		switch {
 		case sid != c.cur && sid != geo.NoServer &&
@@ -557,6 +605,122 @@ func (w *world) tick(k int) {
 	}
 }
 
+// updateFaults realizes outage-window transitions at tick time: servers
+// entering a window go down and lose their layer cache; servers leaving
+// one come back empty. Iteration is in server-ID order, so the journal is
+// deterministic.
+func (w *world) updateFaults() {
+	if w.faults == nil {
+		return
+	}
+	now := w.eng.Now()
+	for id := range w.servers {
+		down := w.faults.serverDown(geo.ServerID(id), now)
+		if down == w.srvDown[id] {
+			continue
+		}
+		w.srvDown[id] = down
+		if down {
+			// A crashed server loses every cached layer.
+			w.servers[id].store = newLayerStore(w.model.NumLayers())
+			w.met.serverDowns.Inc()
+			w.event(obs.EventServerDown, 0, geo.ServerID(id), geo.NoServer, 0, 0)
+		} else {
+			w.event(obs.EventServerUp, 0, geo.ServerID(id), geo.NoServer, 0, 0)
+		}
+	}
+}
+
+// isDown reports whether a server is inside an outage window, as of the
+// last tick's fault update.
+func (w *world) isDown(id geo.ServerID) bool {
+	return w.faults != nil && id != geo.NoServer && w.srvDown[id]
+}
+
+// faultStep handles the fault cases of one client's movement step and
+// reports whether it consumed the step: the serving server (the routing
+// home, or the cell server sid) is down, forcing a failover to a live
+// neighbor or a degradation to local execution.
+func (w *world) faultStep(c *simClient, sid geo.ServerID, pos geo.Point) bool {
+	if w.cfg.Mode == ModeRouting && c.home != geo.NoServer && w.isDown(c.home) {
+		// The home server died, taking the session's layers with it:
+		// abandon routing and re-home at the current cell (or fail over
+		// if that is down too).
+		home := c.home
+		c.home = geo.NoServer
+		if sid == geo.NoServer || w.isDown(sid) {
+			w.failover(c, home, pos)
+			return true
+		}
+		w.res.Failovers++
+		w.met.failovers.Inc()
+		w.event(obs.EventFailover, c.id, home, sid, 0, 0)
+		w.reconnect(c, sid)
+		return true
+	}
+	if sid != geo.NoServer && w.isDown(sid) {
+		w.failover(c, sid, pos)
+		return true
+	}
+	return false
+}
+
+// failover reacts to a down server: re-partition to the nearest live
+// server within the failover radius, or degrade to local execution.
+func (w *world) failover(c *simClient, down geo.ServerID, pos geo.Point) {
+	nid := w.liveNeighbor(pos)
+	if nid == geo.NoServer {
+		w.localFallback(c, down)
+		return
+	}
+	if nid == c.cur {
+		// The previous attachment survives; keep our layers warm there.
+		w.servers[nid].store.touch(w.eng.Now(), w.storeKey(c.id), w.ttl())
+		return
+	}
+	w.res.Failovers++
+	w.met.failovers.Inc()
+	w.event(obs.EventFailover, c.id, down, nid, 0, 0)
+	w.reconnect(c, nid)
+}
+
+// liveNeighbor returns the nearest live server within the failover radius
+// of pos, or NoServer.
+func (w *world) liveNeighbor(pos geo.Point) geo.ServerID {
+	for _, id := range w.env.Placement.Nearest(pos, 8) {
+		if w.isDown(id) {
+			continue
+		}
+		if w.env.Placement.Center(id).Dist(pos) > w.cfg.Faults.failoverRadius() {
+			break // Nearest is distance-ordered; the rest are farther
+		}
+		return id
+	}
+	return geo.NoServer
+}
+
+// localFallback detaches the client and degrades it to fully client-local
+// execution until a later tick finds a live server. down names the server
+// that failed it (or the one it could not attach to), for the journal.
+func (w *world) localFallback(c *simClient, down geo.ServerID) {
+	if c.cur == geo.NoServer && c.chain {
+		return // already running locally
+	}
+	c.gen++
+	c.cur = geo.NoServer
+	c.entry = nil
+	c.pending = c.pending[:0]
+	c.curSet = NewLayerSet(w.model.NumLayers())
+	c.split = partition.Split{}
+	w.res.LocalFallbacks++
+	w.met.localFallbks.Inc()
+	w.event(obs.EventLocalFallback, c.id, down, geo.NoServer, 0, 0)
+	if !c.chain {
+		c.chain = true
+		w.issueQuery(c)
+	}
+}
+
 func (w *world) ttl() time.Duration {
 	return time.Duration(w.cfg.TTLIntervals) * w.env.Interval
 }
@@ -575,6 +739,7 @@ func (w *world) storeKey(clientID int) int {
 // number of transfers already active on that AP (an approximation of
 // processor sharing: rates are fixed at transfer start).
 func (w *world) transfer(sid geo.ServerID, base time.Duration, then func()) {
+	base = w.faults.stretch(base) // transient wireless spikes (nil-safe)
 	if base <= 0 || sid == geo.NoServer || !w.cfg.SharedWireless {
 		w.eng.After(base, then)
 		return
@@ -594,6 +759,12 @@ func (w *world) transfer(sid geo.ServerID, base time.Duration, then func()) {
 // chains.
 func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 	now := w.eng.Now()
+	if w.faults != nil && w.faults.masterDown(now) {
+		// No control plane, no plan: run locally until the next handoff
+		// attempt finds the master back.
+		w.localFallback(c, sid)
+		return
+	}
 	prev := c.cur
 	c.gen++
 	c.cur = sid
@@ -806,6 +977,9 @@ func (w *world) migrate(c *simClient, k int) {
 		return
 	}
 	for _, tid := range targets {
+		if w.isDown(tid) {
+			continue // never push layers at a downed server
+		}
 		dst := w.servers[tid]
 		// Future partitioning plan for the target, from its current GPU
 		// state ("we use the current GPU workloads ... under the
@@ -853,6 +1027,9 @@ func (w *world) migrate(c *simClient, k int) {
 		key := w.storeKey(c.id)
 		from := c.cur
 		w.eng.After(w.cfg.Backhaul.TransferTime(bytes), func() {
+			if w.isDown(tid) {
+				return // the target died in transit; the layers are lost
+			}
 			dst.store.add(w.eng.Now(), key, layers, w.ttl())
 			w.met.migCompleted.Inc()
 			w.event(obs.EventMigrationCompleted, c.id, from, tid, len(layers), bytes)

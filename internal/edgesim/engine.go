@@ -90,3 +90,12 @@ func (e *Engine) Run(until time.Duration) {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// Stop drops every queued event, so Run returns after the currently
+// executing callback. Used to abort a run on context cancellation.
+func (e *Engine) Stop() {
+	for i := range e.pq {
+		e.pq[i] = nil
+	}
+	e.pq = e.pq[:0]
+}

@@ -1,6 +1,7 @@
 package edgesim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -41,6 +42,14 @@ func SweepConfigs(env *Env, cfgs ...CityConfig) []SweepRun {
 // One run's failure does not stop the others; callers inspect per-outcome
 // errors (or use SweepErr for the first one).
 func RunSweep(runs []SweepRun, workers int) []SweepOutcome {
+	return RunSweepContext(context.Background(), runs, workers)
+}
+
+// RunSweepContext is RunSweep under a context: runs already in flight when
+// the context is canceled abort at their next movement tick, runs not yet
+// started fail immediately, and every outcome whose run was cut short
+// carries the context error.
+func RunSweepContext(ctx context.Context, runs []SweepRun, workers int) []SweepOutcome {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -65,7 +74,11 @@ func RunSweep(runs []SweepRun, workers int) []SweepOutcome {
 				if i >= len(runs) {
 					return
 				}
-				res, err := RunCity(runs[i].Env, runs[i].Cfg)
+				if err := ctx.Err(); err != nil {
+					out[i] = SweepOutcome{Run: runs[i], Err: err}
+					continue
+				}
+				res, err := RunCityContext(ctx, runs[i].Env, runs[i].Cfg)
 				out[i] = SweepOutcome{Run: runs[i], Result: res, Err: err}
 			}
 		}()

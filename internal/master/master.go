@@ -6,6 +6,7 @@
 package master
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -170,7 +171,9 @@ func (m *Master) EdgeAddr(id geo.ServerID) (string, bool) {
 
 // Serve accepts connections until Close.
 func (m *Master) Serve(ln net.Listener) error {
+	m.mu.Lock()
 	m.ln = ln
+	m.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -193,8 +196,11 @@ func (m *Master) Serve(ln net.Listener) error {
 // Close stops the daemon.
 func (m *Master) Close() error {
 	close(m.closed)
-	if m.ln != nil {
-		return m.ln.Close()
+	m.mu.Lock()
+	ln := m.ln
+	m.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
 	}
 	return nil
 }
@@ -342,16 +348,18 @@ func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string,
 	if err != nil {
 		return err
 	}
-	conn, err := wire.Dial(curAddr)
+	ctx, cancel := context.WithTimeout(context.Background(), wire.DefaultSendTimeout)
+	defer cancel()
+	conn, err := wire.DialContext(ctx, curAddr)
 	if err != nil {
-		return err
+		return fmt.Errorf("master: edge %s: %w: %w", curAddr, core.ErrServerDown, err)
 	}
 	defer func() {
 		if cerr := conn.Close(); cerr != nil {
 			m.log.Warn("closing edge conn", "err", cerr)
 		}
 	}()
-	resp, err := conn.RoundTrip(&wire.Envelope{
+	resp, err := conn.RoundTripContext(ctx, &wire.Envelope{
 		Type: wire.MsgMigrateRequest,
 		Migrate: &wire.Migrate{
 			ClientID: client,
@@ -360,7 +368,7 @@ func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string,
 		},
 	})
 	if err != nil {
-		return err
+		return fmt.Errorf("master: edge %s: %w: %w", curAddr, core.ErrServerDown, err)
 	}
 	if resp.Ack == nil || !resp.Ack.OK {
 		return fmt.Errorf("master: edge %s rejected migration order", curAddr)
@@ -368,20 +376,23 @@ func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string,
 	return nil
 }
 
-// pingStats fetches the live GPU statistics of an edge daemon.
+// pingStats fetches the live GPU statistics of an edge daemon. A daemon
+// that cannot be reached surfaces as an error wrapping core.ErrServerDown.
 func (m *Master) pingStats(addr string) (*gpusim.Stats, error) {
-	conn, err := wire.Dial(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), wire.DefaultDialTimeout)
+	defer cancel()
+	conn, err := wire.DialContext(ctx, addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("master: edge %s: %w: %w", addr, core.ErrServerDown, err)
 	}
 	defer func() {
 		if cerr := conn.Close(); cerr != nil {
 			m.log.Warn("closing stats conn", "err", cerr)
 		}
 	}()
-	resp, err := conn.RoundTrip(&wire.Envelope{Type: wire.MsgStatsRequest})
+	resp, err := conn.RoundTripContext(ctx, &wire.Envelope{Type: wire.MsgStatsRequest})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("master: edge %s: %w: %w", addr, core.ErrServerDown, err)
 	}
 	if resp.Type != wire.MsgStatsResponse || resp.Stats == nil || resp.Stats.Sample == nil {
 		return nil, fmt.Errorf("master: bad stats response from %s", addr)

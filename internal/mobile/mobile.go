@@ -2,15 +2,25 @@
 // reports its trajectory, fetches partitioning plans, uploads layers to its
 // current edge server, and runs collaborative queries (client-side layers
 // locally, server-side layers at the edge daemon).
+//
+// The client is fault-tolerant: every blocking entry point has a
+// context-aware variant, transient failures retry under a
+// core.RetryPolicy (capped exponential backoff with deterministic jitter),
+// a dropped edge connection is redialed and the upload state resynced from
+// the edge's cache (reconnect-and-resume), and a query whose edge never
+// answers degrades to client-local execution, returning a valid latency
+// wrapped with core.ErrLocalFallback.
 package mobile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
 	"os"
 	"time"
 
+	"perdnn/internal/core"
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/obs"
@@ -30,6 +40,9 @@ type Config struct {
 	// TimeScale compresses client-side execution into wall time, matching
 	// the edge daemons' scale.
 	TimeScale float64
+	// Retry drives retries of master registration and edge exchanges; nil
+	// uses core.DefaultRetryPolicy.
+	Retry *core.RetryPolicy
 	// Logger receives the client's structured log output; nil defaults to
 	// info-level logging on stderr tagged with component=mobile.
 	Logger *slog.Logger
@@ -41,25 +54,26 @@ type Client struct {
 	model  *dnn.Model
 	prof   *profile.ModelProfile
 	master *wire.Conn
+	retry  core.RetryPolicy
 	log    *slog.Logger
 	met    *obs.Registry
 
 	// Current attachment.
 	server    geo.ServerID
 	edge      *wire.Conn
+	edgeAddr  string
 	plan      *wire.PlanResp
 	uploaded  map[dnn.LayerID]bool
 	split     partition.Split
 	planReady bool
 }
 
-// Dial connects to the master and registers.
-func Dial(cfg Config) (*Client, error) {
+// DialContext connects to the master and registers, retrying transient
+// failures under the configured policy. An unreachable master surfaces as
+// an error wrapping core.ErrMasterDown (and core.ErrRetryBudgetExhausted
+// once retries are spent).
+func DialContext(ctx context.Context, cfg Config) (*Client, error) {
 	m, err := dnn.ZooModel(cfg.Model)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := wire.Dial(cfg.MasterAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -67,31 +81,60 @@ func Dial(cfg Config) (*Client, error) {
 	if logger == nil {
 		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, "mobile")
 	}
+	retry := core.DefaultRetryPolicy()
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	}
 	c := &Client{
 		cfg:      cfg,
 		model:    m,
 		prof:     profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp()),
-		master:   conn,
+		retry:    retry,
 		log:      logger,
 		met:      obs.NewRegistry(),
 		server:   geo.NoServer,
 		uploaded: make(map[dnn.LayerID]bool, m.NumLayers()),
 	}
-	resp, err := conn.RoundTrip(&wire.Envelope{
-		Type:     wire.MsgRegister,
-		Register: &wire.Register{ClientID: cfg.ID, Model: cfg.Model},
+	err = retry.Do(ctx, "master registration", func(ctx context.Context) error {
+		conn, err := wire.DialContext(ctx, cfg.MasterAddr)
+		if err != nil {
+			c.met.Counter("master_retries_total").Inc()
+			return fmt.Errorf("%w: %w", core.ErrMasterDown, err)
+		}
+		resp, err := conn.RoundTripContext(ctx, &wire.Envelope{
+			Type:     wire.MsgRegister,
+			Register: &wire.Register{ClientID: cfg.ID, Model: cfg.Model},
+		})
+		if err != nil {
+			closeQuietly(conn, c.log, "master conn")
+			c.met.Counter("master_retries_total").Inc()
+			return fmt.Errorf("%w: registering: %w", core.ErrMasterDown, err)
+		}
+		if resp.Ack == nil || !resp.Ack.OK {
+			closeQuietly(conn, c.log, "master conn")
+			// A rejected registration is a hard failure, not an outage,
+			// but the protocol cannot distinguish; let the policy retry.
+			return fmt.Errorf("mobile: registration rejected: %s", ackError(resp))
+		}
+		c.master = conn
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("mobile: registering: %w", err)
-	}
-	if resp.Ack == nil || !resp.Ack.OK {
-		return nil, fmt.Errorf("mobile: registration rejected: %s", ackError(resp))
+		return nil, fmt.Errorf("mobile: dialing master: %w", err)
 	}
 	return c, nil
 }
 
+// Dial connects to the master and registers.
+//
+// Deprecated: use DialContext, which can carry deadlines and cancellation.
+func Dial(cfg Config) (*Client, error) {
+	return DialContext(context.Background(), cfg)
+}
+
 // Metrics exposes the client's metrics registry (connects, uploads,
-// queries and their latency distribution).
+// queries and their latency distribution, plus retries, reconnects, and
+// local fallbacks).
 func (c *Client) Metrics() *obs.Registry { return c.met }
 
 func ackError(e *wire.Envelope) string {
@@ -99,6 +142,12 @@ func ackError(e *wire.Envelope) string {
 		return e.Ack.Error
 	}
 	return "no ack"
+}
+
+func closeQuietly(conn *wire.Conn, log *slog.Logger, what string) {
+	if err := conn.Close(); err != nil {
+		log.Warn("closing "+what, "err", err)
+	}
 }
 
 // Close drops all connections.
@@ -113,15 +162,15 @@ func (c *Client) Close() error {
 	return first
 }
 
-// ReportLocation sends a trajectory point to the master (triggering its
-// proactive-migration pipeline).
-func (c *Client) ReportLocation(p geo.Point) error {
-	resp, err := c.master.RoundTrip(&wire.Envelope{
+// ReportLocationContext sends a trajectory point to the master (triggering
+// its proactive-migration pipeline).
+func (c *Client) ReportLocationContext(ctx context.Context, p geo.Point) error {
+	resp, err := c.master.RoundTripContext(ctx, &wire.Envelope{
 		Type:       wire.MsgTrajectory,
 		Trajectory: &wire.Trajectory{ClientID: c.cfg.ID, Points: []geo.Point{p}},
 	})
 	if err != nil {
-		return fmt.Errorf("mobile: reporting location: %w", err)
+		return fmt.Errorf("mobile: reporting location: %w: %w", core.ErrMasterDown, err)
 	}
 	if resp.Ack == nil || !resp.Ack.OK {
 		return fmt.Errorf("mobile: location rejected: %s", ackError(resp))
@@ -129,53 +178,127 @@ func (c *Client) ReportLocation(p geo.Point) error {
 	return nil
 }
 
-// Connect attaches to an edge server: fetches the current plan from the
-// master, checks which layers the edge already caches, and uploads one
-// missing schedule unit per UploadStep call.
-func (c *Client) Connect(server geo.ServerID, edgeAddr string) error {
-	if c.edge != nil {
-		if err := c.edge.Close(); err != nil {
-			c.log.Warn("closing previous edge conn", "err", err)
-		}
-		c.edge = nil
+// ReportLocation is ReportLocationContext without cancellation.
+func (c *Client) ReportLocation(p geo.Point) error {
+	return c.ReportLocationContext(context.Background(), p)
+}
+
+// dropEdge discards a broken edge connection; the next edge exchange
+// redials and resyncs.
+func (c *Client) dropEdge() {
+	if c.edge == nil {
+		return
 	}
+	closeQuietly(c.edge, c.log, "edge conn")
+	c.edge = nil
+}
+
+// redialEdge re-establishes the edge connection and resumes: the uploaded
+// set is resynced from the edge's cache, so an edge that kept its cache
+// continues where the upload left off, and one that restarted empty is
+// re-fed only what it lost.
+func (c *Client) redialEdge(ctx context.Context) error {
+	edge, err := wire.DialContext(ctx, c.edgeAddr)
+	if err != nil {
+		return fmt.Errorf("%w: %w", core.ErrServerDown, err)
+	}
+	if c.planReady {
+		hasResp, err := edge.RoundTripContext(ctx, &wire.Envelope{
+			Type: wire.MsgHasRequest,
+			Has:  &wire.Has{ClientID: c.cfg.ID, Layers: c.plan.ServerLayers},
+		})
+		if err != nil {
+			closeQuietly(edge, c.log, "edge conn")
+			return fmt.Errorf("%w: resyncing cache: %w", core.ErrServerDown, err)
+		}
+		c.uploaded = make(map[dnn.LayerID]bool, c.model.NumLayers())
+		if hasResp.Type == wire.MsgHasResponse && hasResp.Has != nil {
+			for _, id := range hasResp.Has.Layers {
+				c.uploaded[id] = true
+			}
+		}
+		c.recomputeSplit()
+	}
+	c.edge = edge
+	c.met.Counter("reconnects_total").Inc()
+	c.log.Info("reconnected to edge", "addr", c.edgeAddr, "layers_cached", len(c.uploaded))
+	return nil
+}
+
+// edgeRoundTrip performs one edge exchange under the retry policy: a
+// failed attempt drops the connection, and the next one redials and
+// resyncs before resending. The returned error wraps core.ErrServerDown
+// (and core.ErrRetryBudgetExhausted when retries are spent).
+func (c *Client) edgeRoundTrip(ctx context.Context, e *wire.Envelope) (*wire.Envelope, error) {
+	if c.edgeAddr == "" {
+		return nil, errors.New("mobile: not connected")
+	}
+	var resp *wire.Envelope
+	err := c.retry.Do(ctx, "edge round trip", func(ctx context.Context) error {
+		if c.edge == nil {
+			if err := c.redialEdge(ctx); err != nil {
+				c.met.Counter("edge_retries_total").Inc()
+				return err
+			}
+		}
+		r, err := c.edge.RoundTripContext(ctx, e)
+		if err != nil {
+			c.dropEdge()
+			c.met.Counter("edge_retries_total").Inc()
+			return fmt.Errorf("%w: %w", core.ErrServerDown, err)
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ConnectContext attaches to an edge server: fetches the current plan from
+// the master, checks which layers the edge already caches, and uploads one
+// missing schedule unit per UploadStep call.
+func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAddr string) error {
+	c.dropEdge()
 	c.met.Counter("connects_total").Inc()
 	c.log.Info("connecting to edge", "server", int(server), "addr", edgeAddr)
-	resp, err := c.master.RoundTrip(&wire.Envelope{
+	resp, err := c.master.RoundTripContext(ctx, &wire.Envelope{
 		Type:    wire.MsgPlanRequest,
 		PlanReq: &wire.PlanReq{ClientID: c.cfg.ID, Server: server},
 	})
 	if err != nil {
-		return fmt.Errorf("mobile: requesting plan: %w", err)
+		return fmt.Errorf("mobile: requesting plan: %w: %w", core.ErrMasterDown, err)
 	}
 	if resp.Type != wire.MsgPlanResponse || resp.PlanResp == nil {
 		return fmt.Errorf("mobile: plan request failed: %s", ackError(resp))
 	}
-	edge, err := wire.Dial(edgeAddr)
-	if err != nil {
-		return fmt.Errorf("mobile: dialing edge: %w", err)
-	}
 	c.server = server
-	c.edge = edge
+	c.edgeAddr = edgeAddr
 	c.plan = resp.PlanResp
 	c.planReady = true
 	c.uploaded = make(map[dnn.LayerID]bool, c.model.NumLayers())
 
-	// Which plan layers are already cached at the edge (hit/miss check)?
-	hasResp, err := edge.RoundTrip(&wire.Envelope{
-		Type: wire.MsgHasRequest,
-		Has:  &wire.Has{ClientID: c.cfg.ID, Layers: c.plan.ServerLayers},
+	// Dial and learn which plan layers the edge already caches (hit/miss
+	// check); redialEdge performs exactly that resync, under retry.
+	err = c.retry.Do(ctx, "edge connect", func(ctx context.Context) error {
+		if err := c.redialEdge(ctx); err != nil {
+			c.met.Counter("edge_retries_total").Inc()
+			return err
+		}
+		return nil
 	})
 	if err != nil {
-		return fmt.Errorf("mobile: querying cache: %w", err)
-	}
-	if hasResp.Type == wire.MsgHasResponse && hasResp.Has != nil {
-		for _, id := range hasResp.Has.Layers {
-			c.uploaded[id] = true
-		}
+		c.recomputeSplit()
+		return fmt.Errorf("mobile: dialing edge: %w", err)
 	}
 	c.recomputeSplit()
 	return nil
+}
+
+// Connect is ConnectContext without cancellation.
+func (c *Client) Connect(server geo.ServerID, edgeAddr string) error {
+	return c.ConnectContext(context.Background(), server, edgeAddr)
 }
 
 // CacheState reports how many of the plan's server-side layers are already
@@ -193,10 +316,11 @@ func (c *Client) CacheState() (present, total int) {
 	return present, len(c.plan.ServerLayers)
 }
 
-// UploadStep uploads the next missing schedule unit to the edge server.
-// It returns false when nothing remains to upload.
-func (c *Client) UploadStep() (bool, error) {
-	if !c.planReady || c.edge == nil {
+// UploadStepContext uploads the next missing schedule unit to the edge
+// server, retrying (with reconnect-and-resume) on transient failures. It
+// returns false when nothing remains to upload.
+func (c *Client) UploadStepContext(ctx context.Context) (bool, error) {
+	if !c.planReady || c.edgeAddr == "" {
 		return false, errors.New("mobile: not connected")
 	}
 	for _, unit := range c.plan.UploadOrder {
@@ -211,7 +335,7 @@ func (c *Client) UploadStep() (bool, error) {
 		if len(missing) == 0 {
 			continue
 		}
-		resp, err := c.edge.RoundTrip(&wire.Envelope{
+		resp, err := c.edgeRoundTrip(ctx, &wire.Envelope{
 			Type:   wire.MsgUploadLayers,
 			Upload: &wire.Upload{ClientID: c.cfg.ID, Layers: missing, Bytes: bytes},
 		})
@@ -232,25 +356,36 @@ func (c *Client) UploadStep() (bool, error) {
 	return false, nil
 }
 
+// UploadStep is UploadStepContext without cancellation.
+func (c *Client) UploadStep() (bool, error) {
+	return c.UploadStepContext(context.Background())
+}
+
 // recomputeSplit refreshes the query decomposition from the uploaded set.
 func (c *Client) recomputeSplit() {
 	c.split = partition.Decompose(c.prof, partition.WithOffloaded(c.model, c.uploaded))
 }
 
-// Query runs one collaborative inference: client-side layers locally (as a
-// scaled sleep), server-side layers at the edge. It returns the simulated
-// end-to-end latency.
-func (c *Client) Query() (time.Duration, error) {
+// QueryContext runs one collaborative inference: client-side layers
+// locally (as a scaled sleep), server-side layers at the edge. It returns
+// the simulated end-to-end latency.
+//
+// When the edge stops answering, the retry policy redials with backoff;
+// once the budget is spent the query degrades to fully client-local
+// execution and returns a VALID latency together with an error wrapping
+// core.ErrLocalFallback — callers that accept degraded service check
+// errors.Is(err, core.ErrLocalFallback) and use the result.
+func (c *Client) QueryContext(ctx context.Context) (time.Duration, error) {
 	sp := c.split
 	total := sp.ClientTime
 	if c.cfg.TimeScale > 0 {
 		time.Sleep(time.Duration(float64(sp.ClientTime) * c.cfg.TimeScale))
 	}
 	if sp.ServerBase > 0 {
-		if c.edge == nil {
+		if c.edgeAddr == "" {
 			return 0, errors.New("mobile: plan offloads but no edge connection")
 		}
-		resp, err := c.edge.RoundTrip(&wire.Envelope{
+		resp, err := c.edgeRoundTrip(ctx, &wire.Envelope{
 			Type: wire.MsgExecRequest,
 			ExecReq: &wire.ExecReq{
 				ClientID:     c.cfg.ID,
@@ -259,10 +394,12 @@ func (c *Client) Query() (time.Duration, error) {
 				InputBytes:   sp.UpBytes,
 			},
 		})
-		if err != nil {
+		switch {
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 			return 0, fmt.Errorf("mobile: query: %w", err)
-		}
-		if resp.Type != wire.MsgExecResponse || resp.ExecResp == nil {
+		case err != nil:
+			return c.localFallback(sp, err)
+		case resp.Type != wire.MsgExecResponse || resp.ExecResp == nil:
 			return 0, fmt.Errorf("mobile: query failed: %s", ackError(resp))
 		}
 		link := partition.LabWiFi()
@@ -271,6 +408,27 @@ func (c *Client) Query() (time.Duration, error) {
 	c.met.Counter("queries_total").Inc()
 	c.met.Histogram("query_latency_ns").ObserveDuration(total)
 	return total, nil
+}
+
+// Query is QueryContext without cancellation.
+func (c *Client) Query() (time.Duration, error) {
+	return c.QueryContext(context.Background())
+}
+
+// localFallback completes a query on the client alone after the edge went
+// unreachable: the layers planned for the server run locally too. The
+// client-side layers already ran, so only the remainder is realized in
+// wall time.
+func (c *Client) localFallback(sp partition.Split, cause error) (time.Duration, error) {
+	total := c.prof.TotalClientTime()
+	if extra := total - sp.ClientTime; extra > 0 && c.cfg.TimeScale > 0 {
+		time.Sleep(time.Duration(float64(extra) * c.cfg.TimeScale))
+	}
+	c.met.Counter("local_fallbacks_total").Inc()
+	c.met.Counter("queries_total").Inc()
+	c.met.Histogram("query_latency_ns").ObserveDuration(total)
+	c.log.Warn("query degraded to local execution", "err", cause)
+	return total, fmt.Errorf("mobile: query: %w: %w", core.ErrLocalFallback, cause)
 }
 
 // EstimatedLatency returns the current split's modelled latency (without

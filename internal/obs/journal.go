@@ -35,6 +35,18 @@ const (
 	// EventFractionTruncated: the fractional-migration cap dropped Layers
 	// layers from a transfer to Target (Bytes = the cap).
 	EventFractionTruncated EventType = "fraction_truncated"
+	// EventServerDown: an injected fault took edge server Server offline
+	// (its layer cache is lost).
+	EventServerDown EventType = "server_down"
+	// EventServerUp: edge server Server recovered from an injected fault.
+	EventServerUp EventType = "server_up"
+	// EventFailover: a client's server (Server) was down, so it
+	// re-partitioned to a live neighbor (Target).
+	EventFailover EventType = "failover"
+	// EventLocalFallback: no live edge server (or no reachable master)
+	// could serve the client, which degraded to client-local execution
+	// (Server = the server it failed to use, -1 if none).
+	EventLocalFallback EventType = "local_fallback"
 )
 
 // Event is one journal entry. Server and Target are edge-server IDs with -1

@@ -12,6 +12,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -150,6 +151,14 @@ type Ack struct {
 	Error string
 }
 
+// Default per-envelope deadlines, used when the caller's context carries
+// no tighter one.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultSendTimeout = 30 * time.Second
+	DefaultRecvTimeout = 60 * time.Second
+)
+
 // Conn wraps a TCP connection with gob encoding and deadlines.
 type Conn struct {
 	c   net.Conn
@@ -157,13 +166,22 @@ type Conn struct {
 	dec *gob.Decoder
 }
 
-// Dial connects to a daemon.
-func Dial(addr string) (*Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// DialContext connects to a daemon, honoring the context's deadline and
+// cancellation; without a context deadline a 5 s dial timeout applies.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	d := net.Dialer{Timeout: DefaultDialTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
 	return NewConn(c), nil
+}
+
+// Dial connects to a daemon with the default dial timeout.
+//
+// Deprecated: use DialContext, which can carry deadlines and cancellation.
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
 }
 
 // NewConn wraps an established connection.
@@ -171,35 +189,89 @@ func NewConn(c net.Conn) *Conn {
 	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
 
-// Send writes one envelope.
-func (c *Conn) Send(e *Envelope) error {
-	if err := c.c.SetWriteDeadline(time.Now().Add(30 * time.Second)); err != nil {
+// deadlineFrom returns the earlier of the context's deadline and
+// now+fallback, so every envelope exchange is bounded even on a
+// deadline-free context.
+func deadlineFrom(ctx context.Context, fallback time.Duration) time.Time {
+	dl := time.Now().Add(fallback)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	return dl
+}
+
+// watchCancel interrupts an in-flight read/write when ctx is canceled by
+// forcing the connection deadline into the past. The returned stop func
+// must be called once the operation completes.
+func (c *Conn) watchCancel(ctx context.Context) (stop func() bool) {
+	if ctx.Done() == nil {
+		return func() bool { return true }
+	}
+	return context.AfterFunc(ctx, func() {
+		_ = c.c.SetDeadline(time.Now())
+	})
+}
+
+// SendContext writes one envelope, bounded by the context deadline (or the
+// 30 s default, whichever is earlier) and interruptible by cancellation.
+func (c *Conn) SendContext(ctx context.Context, e *Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	if err := c.c.SetWriteDeadline(deadlineFrom(ctx, DefaultSendTimeout)); err != nil {
 		return fmt.Errorf("wire: set deadline: %w", err)
 	}
+	defer c.watchCancel(ctx)()
 	if err := c.enc.Encode(e); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("wire: encode: %w: %w", ctxErr, err)
+		}
 		return fmt.Errorf("wire: encode: %w", err)
 	}
 	return nil
 }
 
-// Recv reads one envelope.
-func (c *Conn) Recv() (*Envelope, error) {
-	if err := c.c.SetReadDeadline(time.Now().Add(60 * time.Second)); err != nil {
+// Send writes one envelope with the default deadline.
+func (c *Conn) Send(e *Envelope) error {
+	return c.SendContext(context.Background(), e)
+}
+
+// RecvContext reads one envelope, bounded by the context deadline (or the
+// 60 s default, whichever is earlier) and interruptible by cancellation.
+func (c *Conn) RecvContext(ctx context.Context) (*Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if err := c.c.SetReadDeadline(deadlineFrom(ctx, DefaultRecvTimeout)); err != nil {
 		return nil, fmt.Errorf("wire: set deadline: %w", err)
 	}
+	defer c.watchCancel(ctx)()
 	var e Envelope
 	if err := c.dec.Decode(&e); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("wire: decode: %w: %w", ctxErr, err)
+		}
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
 	return &e, nil
 }
 
-// RoundTrip sends a request and reads the reply.
-func (c *Conn) RoundTrip(e *Envelope) (*Envelope, error) {
-	if err := c.Send(e); err != nil {
+// Recv reads one envelope with the default deadline.
+func (c *Conn) Recv() (*Envelope, error) {
+	return c.RecvContext(context.Background())
+}
+
+// RoundTripContext sends a request and reads the reply under one context.
+func (c *Conn) RoundTripContext(ctx context.Context, e *Envelope) (*Envelope, error) {
+	if err := c.SendContext(ctx, e); err != nil {
 		return nil, err
 	}
-	return c.Recv()
+	return c.RecvContext(ctx)
+}
+
+// RoundTrip sends a request and reads the reply with default deadlines.
+func (c *Conn) RoundTrip(e *Envelope) (*Envelope, error) {
+	return c.RoundTripContext(context.Background(), e)
 }
 
 // Close closes the underlying connection.

@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
@@ -129,5 +132,77 @@ func TestEnvelopeCarriesAllBodies(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestDialContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, "127.0.0.1:1"); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRecvContextDeadline: a read against a silent peer returns promptly
+// when the context deadline passes, instead of hanging for the 60 s
+// default.
+func TestRecvContextDeadline(t *testing.T) {
+	client, _ := pipePair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.RecvContext(ctx)
+	if err == nil {
+		t.Fatal("recv from silent peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("recv took %v, deadline ignored", elapsed)
+	}
+}
+
+// TestRecvContextCancelInterrupts: canceling the context mid-read unblocks
+// the reader even though no deadline was set.
+func TestRecvContextCancelInterrupts(t *testing.T) {
+	client, _ := pipePair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := client.RecvContext(ctx)
+	if err == nil {
+		t.Fatal("recv from silent peer succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("recv took %v, cancellation ignored", elapsed)
+	}
+}
+
+// TestRoundTripContextHappyPath: the context-aware round trip behaves like
+// the legacy one when nothing goes wrong.
+func TestRoundTripContextHappyPath(t *testing.T) {
+	client, server := pipePair(t)
+	go func() {
+		got, err := server.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		if err := server.Send(got); err != nil {
+			t.Errorf("server send: %v", err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := client.RoundTripContext(ctx, &Envelope{Type: MsgAck, Ack: &Ack{OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgAck || resp.Ack == nil || !resp.Ack.OK {
+		t.Errorf("echo = %+v", resp)
 	}
 }

@@ -27,23 +27,119 @@
 //
 //	model, _ := perdnn.LoadModel(perdnn.ModelInception)
 //	prof := perdnn.NewProfile(model)
-//	plan, _ := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+//	plan, _ := perdnn.Partition(prof) // defaults: no contention, lab Wi-Fi
 //	fmt.Println(plan) // which layers run where, and the expected latency
+//
+// Long-running entry points have context-first variants (RunCityContext,
+// RunSweepContext, DialLive) and accept functional options (WithSlowdown,
+// WithLink, WithFaults, WithRetryPolicy, WithDeadline). Failures surface
+// typed sentinels — ErrServerDown, ErrMasterDown, ErrRetryBudgetExhausted,
+// ErrLocalFallback — testable with errors.Is.
 package perdnn
 
 import (
+	"context"
+	"time"
+
 	"perdnn/internal/core"
 	"perdnn/internal/dnn"
 	"perdnn/internal/edgesim"
 	"perdnn/internal/estimator"
 	"perdnn/internal/geo"
 	"perdnn/internal/gpusim"
+	"perdnn/internal/mobile"
 	"perdnn/internal/mobility"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/simnet"
 	"perdnn/internal/trace"
 )
+
+// Typed failure sentinels, re-exported from the control plane. Wrapped
+// errors from every layer (live client, daemons, simulations) match them
+// under errors.Is.
+var (
+	// ErrServerDown marks failures caused by an unreachable edge server.
+	ErrServerDown = core.ErrServerDown
+	// ErrMasterDown marks failures caused by an unreachable master.
+	ErrMasterDown = core.ErrMasterDown
+	// ErrRetryBudgetExhausted marks operations abandoned after the retry
+	// policy spent its attempts or time budget.
+	ErrRetryBudgetExhausted = core.ErrRetryBudgetExhausted
+	// ErrLocalFallback marks queries that degraded to client-local
+	// execution; results carrying it are still valid.
+	ErrLocalFallback = core.ErrLocalFallback
+)
+
+// Re-exported fault-tolerance types.
+type (
+	// RetryPolicy is a capped exponential backoff with deterministic
+	// jitter and an overall time budget.
+	RetryPolicy = core.RetryPolicy
+	// FaultModel injects deterministic, seeded failures into city runs:
+	// per-server outage windows, transient link faults, master blackouts.
+	FaultModel = edgesim.FaultModel
+	// FaultWindow is one half-open virtual-time outage interval.
+	FaultWindow = edgesim.FaultWindow
+)
+
+// DefaultRetryPolicy returns the live path's default backoff settings.
+func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
+
+// Re-exported live-client types.
+type (
+	// LiveConfig parameterizes a live client (see DialLive).
+	LiveConfig = mobile.Config
+	// LiveClient is a connected live client.
+	LiveClient = mobile.Client
+)
+
+// options collects the knobs shared by the facade's variadic entry points.
+type options struct {
+	slowdown float64
+	link     Link
+	retry    *RetryPolicy
+	faults   *FaultModel
+	deadline time.Duration
+}
+
+func buildOptions(opts []Option) options {
+	o := options{slowdown: 1.0, link: partition.LabWiFi()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Option configures a facade call (Partition, RunCityContext, DialLive,
+// ...). Options that do not apply to a call are ignored.
+type Option func(*options)
+
+// WithSlowdown sets the server contention slowdown factor used when
+// partitioning (1.0 means an idle server).
+func WithSlowdown(s float64) Option { return func(o *options) { o.slowdown = s } }
+
+// WithLink sets the client-server network link used to price transfers.
+func WithLink(l Link) Option { return func(o *options) { o.link = l } }
+
+// WithRetryPolicy overrides the retry policy of live-path operations.
+func WithRetryPolicy(p RetryPolicy) Option { return func(o *options) { o.retry = &p } }
+
+// WithFaults injects a failure model into a simulation run.
+func WithFaults(f FaultModel) Option { return func(o *options) { o.faults = &f } }
+
+// WithDeadline bounds the whole call: the context handed to the operation
+// is canceled after d.
+func WithDeadline(d time.Duration) Option { return func(o *options) { o.deadline = d } }
+
+// withDeadline applies the deadline option to a context; the returned
+// cancel must always be called.
+func (o options) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.deadline > 0 {
+		return context.WithTimeout(ctx, o.deadline)
+	}
+	return context.WithCancel(ctx)
+}
 
 // Re-exported model types.
 type (
@@ -193,17 +289,36 @@ func NewProfile(m *Model) *ModelProfile {
 // LabWiFi returns the paper's evaluation link (50 Mbps down / 35 Mbps up).
 func LabWiFi() Link { return partition.LabWiFi() }
 
-// PartitionModel computes the minimum-latency plan for a profile at the
-// given server contention slowdown over the given link (Fig 5).
-func PartitionModel(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
-	return partition.Partition(partition.Request{Profile: prof, Slowdown: slowdown, Link: link})
+// Partition computes the minimum-latency plan for a profile (Fig 5).
+// Defaults: an idle server (WithSlowdown(1.0)) and the paper's lab Wi-Fi
+// link (WithLink(LabWiFi())).
+func Partition(prof *ModelProfile, opts ...Option) (*Plan, error) {
+	o := buildOptions(opts)
+	return partition.Partition(partition.Request{Profile: prof, Slowdown: o.slowdown, Link: o.link})
 }
 
-// PartitionModelMinCut computes the exact optimum assignment for arbitrary
-// DAG models via minimum s-t cut (Hu et al., the paper's cited alternative
-// for branchy models).
+// PartitionMinCut computes the exact optimum assignment for arbitrary DAG
+// models via minimum s-t cut (Hu et al., the paper's cited alternative for
+// branchy models). It takes the same options as Partition.
+func PartitionMinCut(prof *ModelProfile, opts ...Option) (*Plan, error) {
+	o := buildOptions(opts)
+	return partition.PartitionMinCut(partition.Request{Profile: prof, Slowdown: o.slowdown, Link: o.link})
+}
+
+// PartitionModel computes the minimum-latency plan for a profile at the
+// given server contention slowdown over the given link.
+//
+// Deprecated: use Partition with WithSlowdown and WithLink.
+func PartitionModel(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
+	return Partition(prof, WithSlowdown(slowdown), WithLink(link))
+}
+
+// PartitionModelMinCut computes the exact optimum assignment via minimum
+// s-t cut.
+//
+// Deprecated: use PartitionMinCut with WithSlowdown and WithLink.
 func PartitionModelMinCut(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
-	return partition.PartitionMinCut(partition.Request{Profile: prof, Slowdown: slowdown, Link: link})
+	return PartitionMinCut(prof, WithSlowdown(slowdown), WithLink(link))
 }
 
 // UploadSchedule orders a plan's server-side layers for transmission by the
@@ -236,8 +351,23 @@ func PrepareCity(base *Dataset) (*Env, error) {
 	return edgesim.PrepareEnv(base, edgesim.DefaultEnvConfig())
 }
 
-// RunCity executes one large-scale simulation run.
+// RunCity executes one large-scale simulation run. Prefer RunCityContext
+// for cancelable runs and fault injection.
 func RunCity(env *Env, cfg CityConfig) (*CityResult, error) { return edgesim.RunCity(env, cfg) }
+
+// RunCityContext executes one large-scale simulation run under a context:
+// cancellation aborts the run at its next movement tick. WithFaults
+// injects a failure model (overriding cfg.Faults) and WithDeadline bounds
+// the run's wall time.
+func RunCityContext(ctx context.Context, env *Env, cfg CityConfig, opts ...Option) (*CityResult, error) {
+	o := buildOptions(opts)
+	if o.faults != nil {
+		cfg.Faults = o.faults
+	}
+	ctx, cancel := o.withDeadline(ctx)
+	defer cancel()
+	return edgesim.RunCityContext(ctx, env, cfg)
+}
 
 // SweepConfigs builds sweep runs for several configurations against one
 // prepared environment, preserving order.
@@ -250,6 +380,26 @@ func SweepConfigs(env *Env, cfgs ...CityConfig) []SweepRun {
 // Results are deterministic and identical at every worker count.
 func RunSweep(runs []SweepRun, workers int) []SweepOutcome {
 	return edgesim.RunSweep(runs, workers)
+}
+
+// RunSweepContext is RunSweep under a context: canceled runs carry the
+// context error in their outcome.
+func RunSweepContext(ctx context.Context, runs []SweepRun, workers int) []SweepOutcome {
+	return edgesim.RunSweepContext(ctx, runs, workers)
+}
+
+// DialLive connects a live client to a master daemon, retrying transient
+// failures. WithRetryPolicy overrides the client's backoff (taking
+// precedence over cfg.Retry) and WithDeadline bounds the registration.
+// Unreachable masters surface errors wrapping ErrMasterDown.
+func DialLive(ctx context.Context, cfg LiveConfig, opts ...Option) (*LiveClient, error) {
+	o := buildOptions(opts)
+	if o.retry != nil {
+		cfg.Retry = o.retry
+	}
+	ctx, cancel := o.withDeadline(ctx)
+	defer cancel()
+	return mobile.DialContext(ctx, cfg)
 }
 
 // SweepErr returns the first error among sweep outcomes, or nil.

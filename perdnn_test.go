@@ -1,7 +1,11 @@
 package perdnn_test
 
 import (
+	"context"
+	"errors"
+	"net"
 	"testing"
+	"time"
 
 	"perdnn"
 )
@@ -105,6 +109,111 @@ func TestFacadeCityFlow(t *testing.T) {
 	}
 	if _, err := perdnn.GenerateGeolife(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeOptionsPartition: the options form defaults to the old
+// positional defaults, the deprecated wrappers delegate to it, and
+// WithSlowdown actually changes the answer.
+func TestFacadeOptionsPartition(t *testing.T) {
+	m, err := perdnn.LoadModel(perdnn.ModelInception)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := perdnn.NewProfile(m)
+
+	byOpts, err := perdnn.Partition(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLegacy, err := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byOpts.NumServerLayers() != byLegacy.NumServerLayers() || byOpts.EstLatency != byLegacy.EstLatency {
+		t.Errorf("options defaults diverge from legacy call: %v vs %v", byOpts, byLegacy)
+	}
+
+	congested, err := perdnn.Partition(prof, perdnn.WithSlowdown(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congested.NumServerLayers() >= byOpts.NumServerLayers() {
+		t.Errorf("50x contention kept %d server layers (idle: %d)",
+			congested.NumServerLayers(), byOpts.NumServerLayers())
+	}
+
+	if _, err := perdnn.PartitionMinCut(prof, perdnn.WithLink(perdnn.LabWiFi())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeSentinels: the re-exported sentinels are distinct and surface
+// through the live path under errors.Is.
+func TestFacadeSentinels(t *testing.T) {
+	sentinels := []error{
+		perdnn.ErrServerDown, perdnn.ErrMasterDown,
+		perdnn.ErrRetryBudgetExhausted, perdnn.ErrLocalFallback,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel identity broken between %v and %v", a, b)
+			}
+		}
+	}
+
+	// A dead master: DialLive must fail fast with both sentinels.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	retry := perdnn.DefaultRetryPolicy()
+	retry.MaxAttempts = 2
+	retry.BaseDelay = time.Millisecond
+	_, err = perdnn.DialLive(context.Background(),
+		perdnn.LiveConfig{ID: 1, Model: perdnn.ModelMobileNet, MasterAddr: addr},
+		perdnn.WithRetryPolicy(retry), perdnn.WithDeadline(10*time.Second))
+	if !errors.Is(err, perdnn.ErrMasterDown) || !errors.Is(err, perdnn.ErrRetryBudgetExhausted) {
+		t.Errorf("DialLive err = %v, want ErrMasterDown and ErrRetryBudgetExhausted", err)
+	}
+}
+
+// TestFacadeFaultyCity: WithFaults flows into the run and churn shows up
+// in the result; WithDeadline + a canceled context abort cleanly.
+func TestFacadeFaultyCity(t *testing.T) {
+	base, err := perdnn.GenerateKAIST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := perdnn.PrepareCity(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := perdnn.CityDefaults(perdnn.ModelMobileNet, perdnn.ModePerDNN, 100)
+	cfg.MaxSteps = 30
+	res, err := perdnn.RunCityContext(context.Background(), env, cfg,
+		perdnn.WithFaults(perdnn.FaultModel{Seed: 3, ServerOutageProb: 0.1, OutageIntervals: 2}),
+		perdnn.WithDeadline(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers+res.LocalFallbacks == 0 {
+		t.Error("faulty facade run reports no churn")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := perdnn.RunCityContext(ctx, env, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	outs := perdnn.RunSweepContext(ctx, perdnn.SweepConfigs(env, cfg), 1)
+	if err := perdnn.SweepErr(outs); !errors.Is(err, context.Canceled) {
+		t.Errorf("sweep err = %v, want context.Canceled", err)
 	}
 }
 
