@@ -68,17 +68,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Ctrl-C / SIGTERM closes the listener; Serve then drains open
-	// connections and returns nil.
+	// Ctrl-C / SIGTERM cancels the serve context; ServeContext closes the
+	// listener, interrupts in-flight exchanges, drains, and returns nil.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		if cerr := srv.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "perdnn-edge: shutdown:", cerr)
-		}
-	}()
 	fmt.Printf("perdnn-edge: serving %s on %s (ttl %v, timescale %v)\n",
 		*model, ln.Addr(), *ttl, *timescale)
-	return srv.Serve(ln)
+	return srv.ServeContext(ctx, ln)
 }

@@ -114,17 +114,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Ctrl-C / SIGTERM closes the listener; Serve then drains open
-	// connections and returns nil.
+	// Ctrl-C / SIGTERM cancels the serve context; ServeContext closes the
+	// listener, interrupts in-flight exchanges, drains, and returns nil.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		if cerr := m.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "perdnn-master: shutdown:", cerr)
-		}
-	}()
 	fmt.Printf("perdnn-master: serving on %s with %d edge servers (r=%.0fm)\n",
 		ln.Addr(), len(edges), *radius)
-	return m.Serve(ln)
+	return m.ServeContext(ctx, ln)
 }

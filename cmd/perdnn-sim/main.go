@@ -195,7 +195,7 @@ func writeEvents(path string, outs []edgesim.SweepOutcome) error {
 		events := o.Result.Events
 		label := cellLabel(o.Run.Cfg)
 		for i := range events {
-			events[i].Run = label
+			events[i] = events[i].WithRun(label)
 		}
 		if err := obs.WriteJSONL(f, events); err != nil {
 			_ = f.Close()

@@ -1,0 +1,78 @@
+// Command perdnn-vet runs the repo's custom static-analysis suite — the
+// compile-time form of the invariants PerDNN's reproduction numbers rest
+// on: deterministic simulation runs, sentinel-error discipline, context
+// plumbing on the live path, Env immutability, and fixed-shape journal
+// events. See internal/lint for the analyzers.
+//
+// Usage:
+//
+//	go run ./cmd/perdnn-vet [flags] [packages]
+//
+// With no package patterns it analyzes ./.... Exits 1 when any analyzer
+// reports a finding, so CI can use it as a hard gate. Suppress a finding
+// at a specific line with a justified directive:
+//
+//	//perdnn:vet-ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perdnn/internal/lint"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		only  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		tests = flag.Bool("tests", false, "also analyze in-package _test.go files")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: perdnn-vet [flags] [packages]\n\nperdnn's invariant checks; see internal/lint.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "perdnn-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(lint.LoadConfig{Tests: *tests}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perdnn-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perdnn-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "perdnn-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -65,9 +65,10 @@ type Server struct {
 	mu    sync.Mutex
 	cache map[int]*cacheEntry // by client ID
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 type cacheEntry struct {
@@ -115,12 +116,20 @@ func (s *Server) sleep(d time.Duration) {
 	time.Sleep(time.Duration(float64(d) * s.cfg.TimeScale))
 }
 
-// Serve accepts connections on ln until Close. It returns after the
-// listener fails (normally because Close closed it).
-func (s *Server) Serve(ln net.Listener) error {
+// ServeContext accepts connections on ln until Close is called or ctx is
+// canceled. Connection handlers — including the peer dials that proactive
+// migration orders trigger — inherit ctx, so canceling it interrupts
+// in-flight exchanges, closes the listener, and drains.
+func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() {
+		if err := s.Close(); err != nil {
+			s.log.Warn("shutdown", "err", err)
+		}
+	})
+	defer stop()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -135,38 +144,52 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(wire.NewConn(conn))
+			s.handle(ctx, wire.NewConn(conn))
 		}()
 	}
 }
 
-// Close stops the daemon.
+// Serve accepts connections on ln until Close. It returns after the
+// listener fails (normally because Close closed it).
+//
+// Deprecated: use ServeContext, which ties the daemon's lifetime and every
+// in-flight exchange to the caller's context.
+func (s *Server) Serve(ln net.Listener) error {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
+	return s.ServeContext(context.Background(), ln)
+}
+
+// Close stops the daemon. It is idempotent and safe to call concurrently
+// with ServeContext's own context-driven shutdown.
 func (s *Server) Close() error {
-	close(s.closed)
-	s.mu.Lock()
-	ln := s.ln
-	s.mu.Unlock()
-	if ln != nil {
-		return ln.Close()
-	}
-	return nil
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		ln := s.ln
+		s.mu.Unlock()
+		if ln != nil {
+			err = ln.Close()
+		}
+	})
+	return err
 }
 
 // handle serves one connection until it errors or closes.
-func (s *Server) handle(c *wire.Conn) {
+func (s *Server) handle(ctx context.Context, c *wire.Conn) {
 	defer func() {
 		if err := c.Close(); err != nil {
 			s.log.Warn("closing conn", "err", err)
 		}
 	}()
 	for {
-		req, err := c.Recv()
+		req, err := c.RecvContext(ctx)
 		if err != nil {
-			return // client went away or timed out
+			return // client went away, timed out, or the daemon is stopping
 		}
 		s.met.Counter("requests_total").Inc()
-		resp := s.dispatch(req)
-		if err := c.Send(resp); err != nil {
+		resp := s.dispatch(ctx, req)
+		if err := c.SendContext(ctx, resp); err != nil {
 			return
 		}
 	}
@@ -179,7 +202,7 @@ func ack(err error) *wire.Envelope {
 	return &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{OK: true}}
 }
 
-func (s *Server) dispatch(req *wire.Envelope) *wire.Envelope {
+func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 	switch req.Type {
 	case wire.MsgStatsRequest:
 		st := s.gpu.Sample(s.now())
@@ -203,7 +226,7 @@ func (s *Server) dispatch(req *wire.Envelope) *wire.Envelope {
 		if req.Migrate == nil {
 			return ack(errors.New("edged: migrate without body"))
 		}
-		return ack(s.migrate(req.Migrate))
+		return ack(s.migrate(ctx, req.Migrate))
 	default:
 		return ack(fmt.Errorf("edged: unexpected message type %d", req.Type))
 	}
@@ -287,7 +310,7 @@ func (s *Server) has(h *wire.Has) *wire.Envelope {
 // migrate pushes the client's cached subset of the requested layers to a
 // peer edge server ("if the current edge server does not have all of the
 // server-side layers, it sends layers as many as possible").
-func (s *Server) migrate(m *wire.Migrate) error {
+func (s *Server) migrate(ctx context.Context, m *wire.Migrate) error {
 	cached := s.cachedLayers(m.ClientID)
 	if len(cached) == 0 {
 		return nil // nothing to send; not an error
@@ -312,7 +335,7 @@ func (s *Server) migrate(m *wire.Migrate) error {
 	s.met.Counter("migration_bytes_total").Add(bytes)
 	s.log.Debug("migrating layers", "client", m.ClientID, "peer", m.PeerAddr,
 		"layers", len(send), "bytes", bytes)
-	ctx, cancel := context.WithTimeout(context.Background(), wire.DefaultSendTimeout)
+	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
 	defer cancel()
 	peer, err := wire.DialContext(ctx, m.PeerAddr)
 	if err != nil {

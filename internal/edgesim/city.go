@@ -407,15 +407,7 @@ func (w *world) event(t obs.EventType, client int, server, target geo.ServerID, 
 	if w.journal == nil {
 		return
 	}
-	w.journal.Record(obs.Event{
-		T:      w.eng.Now(),
-		Type:   t,
-		Client: client,
-		Server: int(server),
-		Target: int(target),
-		Layers: layers,
-		Bytes:  bytes,
-	})
+	w.journal.Record(obs.NewEvent(w.eng.Now(), t, client, int(server), int(target), layers, bytes))
 }
 
 // trackPlan notes the first time this run uses a plan entry, feeding the

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// Each analyzer is exercised against a fixture package under testdata/src
+// that mixes violating lines (annotated with // want "...") and conforming
+// counterparts. The harness fails on missing AND unexpected diagnostics,
+// so every fixture simultaneously proves the analyzer fires and that it
+// stays silent on the sanctioned idioms.
+
+const fixtureRoot = "testdata/src"
+
+func TestSimDeterminism(t *testing.T) {
+	RunFixture(t, fixtureRoot, SimDeterminism, "perdnn/internal/edgesim")
+}
+
+func TestSimDeterminismIgnoresNonSimPackages(t *testing.T) {
+	// The notsim fixture reads the wall clock and global rand freely but
+	// lives outside the simulation packages, so the analyzer stays silent.
+	RunFixture(t, fixtureRoot, SimDeterminism, "notsim")
+}
+
+func TestSentErr(t *testing.T) {
+	RunFixture(t, fixtureRoot, SentErr, "senterr")
+}
+
+func TestCtxFlow(t *testing.T) {
+	RunFixture(t, fixtureRoot, CtxFlow, "perdnn/internal/mobile")
+}
+
+func TestEnvMutate(t *testing.T) {
+	RunFixture(t, fixtureRoot, EnvMutate, "envuser")
+}
+
+func TestObsJournal(t *testing.T) {
+	RunFixture(t, fixtureRoot, ObsJournal, "obsuser")
+}
+
+func TestAllAnalyzersRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if Lookup(a.Name) != a {
+			t.Fatalf("Lookup(%q) does not round-trip", a.Name)
+		}
+	}
+	if len(names) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(names))
+	}
+	if Lookup("nope") != nil {
+		t.Fatal("Lookup of unknown name should be nil")
+	}
+}
+
+// failRecorder captures harness failures so the harness itself can be
+// tested: a fixture violation without its want comment must fail.
+type failRecorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *failRecorder) Helper() {}
+func (r *failRecorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *failRecorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+
+// TestFixturesFailWithoutAnalyzer proves the gate is real: running a
+// fixture that contains want comments against an analyzer that never
+// reports must fail with "no diagnostic matching" for every want.
+func TestFixturesFailWithoutAnalyzer(t *testing.T) {
+	silent := &Analyzer{
+		Name: "silent",
+		Doc:  "reports nothing, ever",
+		Run:  func(*Pass) error { return nil },
+	}
+	rec := &failRecorder{}
+	RunFixture(rec, fixtureRoot, silent, "obsuser")
+	if len(rec.fatals) != 0 {
+		t.Fatalf("unexpected fatal: %v", rec.fatals)
+	}
+	if len(rec.errors) == 0 {
+		t.Fatal("silent analyzer passed a fixture with want comments; the fixtures do not gate anything")
+	}
+	for _, e := range rec.errors {
+		if !strings.Contains(e, "no diagnostic matching") {
+			t.Fatalf("unexpected harness failure %q", e)
+		}
+	}
+}
+
+// TestIgnoreDirective proves a diagnostic is suppressed only for the named
+// analyzer and only on the directive's line or the line below.
+func TestIgnoreDirective(t *testing.T) {
+	ix := ignoreIndex{
+		"f.go": {10: {"ctxflow"}, 20: {"all"}},
+	}
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"ctxflow", 10, true},
+		{"ctxflow", 11, true},
+		{"ctxflow", 12, false},
+		{"senterr", 10, false},
+		{"senterr", 20, true},
+		{"senterr", 21, true},
+	}
+	for _, c := range cases {
+		got := ix.covers(c.analyzer, token.Position{Filename: "f.go", Line: c.line})
+		if got != c.want {
+			t.Errorf("covers(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}

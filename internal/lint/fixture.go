@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the suite's analog of golang.org/x/tools/go/analysis/
+// analysistest: fixture packages live under testdata/src/<importpath>/ and
+// annotate the lines an analyzer must flag with
+//
+//	code() // want "regexp matching the diagnostic"
+//
+// RunFixture type-checks the fixture (resolving non-stdlib imports from
+// testdata/src, so fixtures can stub perdnn/internal/... packages under
+// their real import paths), runs one analyzer, and fails the test on any
+// unexpected or missing diagnostic.
+
+// testingT is the subset of *testing.T the harness needs, split out so the
+// harness itself is testable.
+type testingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture analyzes the fixture packages at the given import paths under
+// root (conventionally "testdata/src") and asserts the analyzer's
+// diagnostics exactly match the fixtures' want comments.
+func RunFixture(t testingT, root string, a *Analyzer, paths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		root:  root,
+		fset:  fset,
+		cache: map[string]*Package{},
+	}
+	ld.std = importer.ForCompiler(fset, "gc", nil)
+
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+			return
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+		return
+	}
+	checkWants(t, fset, pkgs, diags)
+}
+
+// fixtureLoader type-checks fixture packages, resolving imports from the
+// fixture tree first and falling back to the standard library.
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*Package
+	std   types.Importer
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if pkg, err := l.load(path); err == nil {
+		return pkg.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.std.Import(path)
+}
+
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = nil // cycle marker
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %q has no .go files", path)
+	}
+	conf := types.Config{Importer: l}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// expectation is one want pattern on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantStringRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants extracts // want "..." comments from every fixture file.
+func parseWants(t testingT, fset *token.FileSet, pkgs []*Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Slash)
+					quoted := wantStringRE.FindAllString(rest, -1)
+					if len(quoted) == 0 {
+						t.Errorf("%s: malformed want comment %q", pos, c.Text)
+						continue
+					}
+					for _, q := range quoted {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: bad want string %s: %v", pos, q, err)
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+							continue
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  pat,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants compares diagnostics against want comments line by line.
+func checkWants(t testingT, fset *token.FileSet, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, pkgs)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

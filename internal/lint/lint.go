@@ -1,0 +1,204 @@
+// Package lint is perdnn's in-tree static-analysis suite. It enforces the
+// invariants the simulator's headline numbers rest on — bit-for-bit
+// determinism of runs and journals, sentinel-error discipline, context
+// plumbing on the live path, Env immutability, and fixed-field-order
+// journal events — as compile-time checks instead of review lore.
+//
+// The suite is deliberately self-contained: it mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, diagnostics, testdata
+// fixtures with "// want" comments) but is built only on the standard
+// library's go/ast and go/types, because the build environment pins the
+// module to a zero-dependency footprint. Packages under analysis are
+// loaded from `go list -export` output, so type information comes from
+// the same compiler export data the build uses.
+//
+// Run the whole suite with:
+//
+//	go run ./cmd/perdnn-vet ./...
+//
+// A finding can be suppressed at a specific line — for documented
+// exceptions such as deprecated compatibility shims — with a directive
+// comment on the same line or the line above:
+//
+//	//perdnn:vet-ignore ctxflow deprecated bare-dial shim
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape follows
+// golang.org/x/tools/go/analysis so the suite can migrate to the real
+// framework wholesale if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc states the invariant the analyzer encodes, first line short.
+	Doc string
+	// Run reports the analyzer's findings for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   *[]Diagnostic
+	ignores ignoreIndex
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive for this
+// analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// invariants (wall-clock use, context.Background) are relaxed in tests.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding.
+const IgnoreDirective = "//perdnn:vet-ignore"
+
+// ignoreIndex maps file -> line -> analyzer names suppressed on that line.
+// A directive suppresses findings on its own line and on the line below,
+// so it can trail a statement or sit above a declaration.
+type ignoreIndex map[string]map[int][]string
+
+func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	lines := ix[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[ln] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans comments for vet-ignore directives. The directive
+// grammar is "//perdnn:vet-ignore name1,name2 reason..." — everything after
+// the comma-separated analyzer list is a free-form justification.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ix[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// RunAnalyzers applies every analyzer to every package and returns all
+// diagnostics sorted by position. Analyzer errors (not findings) abort.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+				ignores:   ignores,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full perdnn-vet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SimDeterminism,
+		SentErr,
+		CtxFlow,
+		EnvMutate,
+		ObsJournal,
+	}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked unit under analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+	DepOnly     bool
+	Error       *struct{ Err string }
+}
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the module root to run `go list` in ("" = current directory).
+	Dir string
+	// Tests includes in-package _test.go files in the analyzed packages.
+	// External (_test package) files are never loaded.
+	Tests bool
+}
+
+// Load lists, parses, and type-checks the packages matching patterns
+// (e.g. "./...") using compiler export data for all imports, so loading a
+// package costs one parse+check of its own files only. The build cache
+// must be able to produce export data, i.e. the tree must compile.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	if cfg.Tests {
+		args = append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			// Test variants list as "path [path.test]"; strip the suffix so
+			// either spelling resolves.
+			exports[trimTestVariant(p.ImportPath)] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && trimTestVariant(p.ImportPath) == p.ImportPath {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		names := t.GoFiles
+		if cfg.Tests {
+			names = append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp}
+		info := newTypesInfo()
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// trimTestVariant maps "pkg [pkg.test]" to "pkg".
+func trimTestVariant(path string) string {
+	if i := bytes.IndexByte([]byte(path), ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

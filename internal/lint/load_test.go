@@ -1,0 +1,49 @@
+package lint
+
+import "testing"
+
+// TestRepoInvariants runs the full suite over the real tree, so `go test
+// ./...` enforces the same gate CI does with `go run ./cmd/perdnn-vet`.
+// Loading shells out to `go list -export`, which is served from the build
+// cache; skip under -short for tight edit loops.
+func TestRepoInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo analysis in -short mode")
+	}
+	pkgs, err := Load(LoadConfig{Dir: "../.."}, "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	diags, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadSinglePackage checks the loader's type information is real: it
+// must resolve imports through export data, not stubs.
+func TestLoadSinglePackage(t *testing.T) {
+	pkgs, err := Load(LoadConfig{Dir: "../.."}, "./internal/obs")
+	if err != nil {
+		t.Fatalf("loading internal/obs: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "perdnn/internal/obs" {
+		t.Fatalf("import path %q", pkg.ImportPath)
+	}
+	if pkg.Types.Scope().Lookup("NewEvent") == nil {
+		t.Fatal("type info missing obs.NewEvent")
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Fatal("no uses recorded; type checking did not run")
+	}
+}

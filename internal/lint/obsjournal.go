@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ObsJournal enforces fixed-shape journal events: outside internal/obs,
+// events must be built with the obs constructors (obs.NewEvent and the
+// Event.WithRun combinator), never as ad-hoc obs.Event composite
+// literals. A keyed literal silently zero-fills omitted fields, and for
+// Server/Target the zero value is a *valid server ID* — the constructors
+// force both to be stated (with -1 meaning "none"), which is what keeps
+// journal lines byte-identical and semantically unambiguous across
+// emission sites. _test.go files may use literals to state expectations.
+var ObsJournal = &Analyzer{
+	Name: "obsjournal",
+	Doc:  "journal events are built by obs constructors, not ad-hoc Event literals",
+	Run:  runObsJournal,
+}
+
+func runObsJournal(pass *Pass) error {
+	if pass.Pkg.Path() == obsPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if ok && isNamed(tv.Type, obsPath, "Event") {
+				pass.Reportf(lit.Pos(),
+					"ad-hoc obs.Event literal: use obs.NewEvent (fixed field order, explicit Server/Target) so omitted fields cannot silently become server 0")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDeterminism enforces the simulator's core contract: a run — including
+// its event journal — is a pure function of its configuration, so results
+// and journals are byte-identical at every RunSweep worker count.
+//
+// In the simulation packages (edgesim, simnet, mobility, estimator,
+// gpusim, geo) it forbids, outside _test.go files:
+//
+//   - wall-clock reads (time.Now, time.Since, and the timer family):
+//     simulated time must come from the engine's virtual clock;
+//   - package-level math/rand functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, ...): they draw from the process-global source, whose
+//     state depends on every other goroutine; all randomness must flow
+//     from a run-scoped rand.New(rand.NewSource(seed));
+//   - `range` over a map whose body emits journal events or accumulates
+//     obs.Event values: Go map order is deliberately randomized, so
+//     anything journal-bound must iterate a sorted copy of the keys.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock, global math/rand, and journal-feeding map iteration in simulation packages",
+	Run:  runSimDeterminism,
+}
+
+// wallClockFuncs are the time package functions that observe or schedule
+// against the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Sleep": true,
+}
+
+// seededRandFuncs are the math/rand constructors that produce run-scoped
+// generators; everything else at package level draws from the global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	if !simPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.SelectorExpr:
+				checkGlobalRand(pass, n)
+			case *ast.RangeStmt:
+				checkJournalMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObject(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || funcSig(fn).Recv() != nil {
+		return
+	}
+	if wallClockFuncs[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"wall-clock time.%s in simulation package %s: derive time from the engine's virtual clock",
+			fn.Name(), pass.Pkg.Name())
+	}
+}
+
+func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || funcSig(fn).Recv() != nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if seededRandFuncs[fn.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"package-level rand.%s draws from the process-global source: use a run-scoped rand.New(rand.NewSource(seed))",
+		fn.Name())
+}
+
+// checkJournalMapRange flags `range m` over a map when the loop body emits
+// journal events, because map iteration order would leak into the journal.
+func checkJournalMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Ignoring both loop variables (e.g. `for range m`) cannot leak order.
+	if rng.Key == nil && rng.Value == nil {
+		return
+	}
+	var emit ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if emit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if emitsJournalEvent(pass.TypesInfo, call) {
+			emit = call
+			return false
+		}
+		return true
+	})
+	if emit != nil {
+		pass.Reportf(rng.Pos(),
+			"map iteration order reaches the journal (event emitted in loop body): iterate a sorted copy of the keys")
+	}
+}
+
+// emitsJournalEvent reports whether the call records or constructs a
+// journal event: any call into internal/obs that touches Event or Journal,
+// an append of obs.Event values, or a call to a local emission helper
+// (a function or method named event/emit/record* by convention).
+func emitsJournalEvent(info *types.Info, call *ast.CallExpr) bool {
+	// append(events, obs.Event{...}) or append of anything Event-typed.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if tv, ok := info.Types[call.Args[0]]; ok {
+				if s, ok := tv.Type.Underlying().(*types.Slice); ok && isNamed(s.Elem(), obsPath, "Event") {
+					return true
+				}
+			}
+		}
+	}
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == obsPath {
+		// Journal.Record, NewEvent, typed constructors — all obs entry
+		// points that put an event on the record.
+		sig := funcSig(fn)
+		if recv := sig.Recv(); recv != nil && isNamed(recv.Type(), obsPath, "Journal") {
+			return true
+		}
+		if sig.Results().Len() == 1 && isNamed(sig.Results().At(0).Type(), obsPath, "Event") {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isNamed(sig.Params().At(i).Type(), obsPath, "Event") {
+				return true
+			}
+		}
+		return false
+	}
+	// Local emission helpers by convention (world.event in edgesim).
+	name := strings.ToLower(fn.Name())
+	return name == "event" || name == "emit" || strings.HasPrefix(name, "record")
+}

@@ -1,0 +1,30 @@
+// Package envuser exercises the Env-immutability analyzer.
+package envuser
+
+import "perdnn/internal/edgesim"
+
+func mutateField(env *edgesim.Env) {
+	env.Seed = 7 // want "write to Seed through"
+}
+
+func mutateIncDec(env *edgesim.Env) {
+	env.Seed++ // want "write to Seed through"
+}
+
+func mutateOpAssign(env *edgesim.Env) {
+	env.Name += "x" // want "write to Name through"
+}
+
+func replaceWhole(env *edgesim.Env) {
+	*env = edgesim.Env{} // want "store through"
+}
+
+func variant(env *edgesim.Env) edgesim.Env {
+	v := *env
+	v.Seed = 9 // ok: writes to a value copy are the documented idiom
+	return v
+}
+
+func construct(seed int64) *edgesim.Env {
+	return &edgesim.Env{Seed: seed} // ok: composite literals build new values
+}

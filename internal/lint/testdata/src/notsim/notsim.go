@@ -1,0 +1,16 @@
+// Package notsim uses the wall clock and global randomness freely: it is
+// not a simulation package, so simdeterminism must stay silent.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Now() time.Duration {
+	return time.Since(time.Now())
+}
+
+func Roll(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,11 @@
+package obsuser
+
+import "perdnn/internal/obs"
+
+// Tests may state expected events as literals; obsjournal must stay
+// silent here.
+func expectedEvents() []obs.Event {
+	return []obs.Event{
+		{Type: "handoff", Server: -1, Target: 0},
+	}
+}

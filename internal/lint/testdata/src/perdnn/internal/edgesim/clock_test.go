@@ -1,0 +1,9 @@
+package edgesim
+
+import "time"
+
+// Test files may read the wall clock (e.g. to bound test runtime); the
+// simdeterminism analyzer must stay silent here.
+func testDeadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}

@@ -1,0 +1,8 @@
+package mobile
+
+import "context"
+
+// Tests may mint root contexts; ctxflow must stay silent here.
+func testRoot() context.Context {
+	return context.Background()
+}

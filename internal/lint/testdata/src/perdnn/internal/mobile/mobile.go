@@ -1,0 +1,51 @@
+// Package mobile is the ctxflow fixture: it occupies a live-path import
+// path so the analyzer applies.
+package mobile
+
+import (
+	"context"
+	"net"
+)
+
+type Client struct {
+	conn net.Conn
+}
+
+// DialContext is the ctx-first form every live-path entry point must take.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr) // want "context.Background"
+}
+
+func DialShim(addr string) (*Client, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
+	return DialContext(context.Background(), addr)
+}
+
+func Query(c *Client, q string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = ctx
+	_ = q
+	return nil
+}
+
+func Probe(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "dials the network without accepting a context.Context"
+}
+
+func pending() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+// probeHelper is unexported: the bare-dial rule covers the exported API
+// surface only, so this stays silent.
+func probeHelper(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 0)
+}

@@ -82,9 +82,10 @@ type Master struct {
 	planners map[dnn.ModelName]*core.Planner
 	clients  map[int]*clientState
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 type clientState struct {
@@ -169,11 +170,20 @@ func (m *Master) EdgeAddr(id geo.ServerID) (string, bool) {
 	return e.Addr, ok
 }
 
-// Serve accepts connections until Close.
-func (m *Master) Serve(ln net.Listener) error {
+// ServeContext accepts connections until Close is called or ctx is
+// canceled. Every connection handler — including the outbound migration
+// orders and stats pings it triggers — inherits ctx, so canceling it
+// interrupts in-flight work, closes the listener, and drains.
+func (m *Master) ServeContext(ctx context.Context, ln net.Listener) error {
 	m.mu.Lock()
 	m.ln = ln
 	m.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() {
+		if err := m.Close(); err != nil {
+			m.log.Warn("shutdown", "err", err)
+		}
+	})
+	defer stop()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -188,37 +198,50 @@ func (m *Master) Serve(ln net.Listener) error {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			m.handle(wire.NewConn(conn))
+			m.handle(ctx, wire.NewConn(conn))
 		}()
 	}
 }
 
-// Close stops the daemon.
-func (m *Master) Close() error {
-	close(m.closed)
-	m.mu.Lock()
-	ln := m.ln
-	m.mu.Unlock()
-	if ln != nil {
-		return ln.Close()
-	}
-	return nil
+// Serve accepts connections until Close.
+//
+// Deprecated: use ServeContext, which ties the daemon's lifetime and every
+// in-flight exchange to the caller's context.
+func (m *Master) Serve(ln net.Listener) error {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
+	return m.ServeContext(context.Background(), ln)
 }
 
-func (m *Master) handle(c *wire.Conn) {
+// Close stops the daemon. It is idempotent and safe to call concurrently
+// with ServeContext's own context-driven shutdown.
+func (m *Master) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		m.mu.Lock()
+		ln := m.ln
+		m.mu.Unlock()
+		if ln != nil {
+			err = ln.Close()
+		}
+	})
+	return err
+}
+
+func (m *Master) handle(ctx context.Context, c *wire.Conn) {
 	defer func() {
 		if err := c.Close(); err != nil {
 			m.log.Warn("closing conn", "err", err)
 		}
 	}()
 	for {
-		req, err := c.Recv()
+		req, err := c.RecvContext(ctx)
 		if err != nil {
 			return
 		}
 		m.met.Counter("requests_total").Inc()
-		resp := m.dispatch(req)
-		if err := c.Send(resp); err != nil {
+		resp := m.dispatch(ctx, req)
+		if err := c.SendContext(ctx, resp); err != nil {
 			return
 		}
 	}
@@ -231,7 +254,7 @@ func ackErr(err error) *wire.Envelope {
 	return &wire.Envelope{Type: wire.MsgAck, Ack: &wire.Ack{OK: true}}
 }
 
-func (m *Master) dispatch(req *wire.Envelope) *wire.Envelope {
+func (m *Master) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 	switch req.Type {
 	case wire.MsgRegister:
 		if req.Register == nil {
@@ -242,12 +265,12 @@ func (m *Master) dispatch(req *wire.Envelope) *wire.Envelope {
 		if req.Trajectory == nil {
 			return ackErr(errors.New("master: trajectory without body"))
 		}
-		return ackErr(m.trajectory(req.Trajectory))
+		return ackErr(m.trajectory(ctx, req.Trajectory))
 	case wire.MsgPlanRequest:
 		if req.PlanReq == nil {
 			return ackErr(errors.New("master: plan request without body"))
 		}
-		resp, err := m.plan(req.PlanReq)
+		resp, err := m.plan(ctx, req.PlanReq)
 		if err != nil {
 			return ackErr(err)
 		}
@@ -281,7 +304,7 @@ func (m *Master) register(r *wire.Register) error {
 }
 
 // trajectory updates a client's history and triggers proactive migration.
-func (m *Master) trajectory(t *wire.Trajectory) error {
+func (m *Master) trajectory(ctx context.Context, t *wire.Trajectory) error {
 	m.met.Counter("trajectory_points_total").Add(int64(len(t.Points)))
 	m.mu.Lock()
 	cs, ok := m.clients[t.ClientID]
@@ -319,7 +342,7 @@ func (m *Master) trajectory(t *wire.Trajectory) error {
 		return nil
 	}
 	for _, tid := range targets {
-		if err := m.orderMigration(model, t.ClientID, curAddr, tid); err != nil {
+		if err := m.orderMigration(ctx, model, t.ClientID, curAddr, tid); err != nil {
 			m.met.Counter("migration_errors_total").Inc()
 			m.log.Warn("migration order failed", "client", t.ClientID, "target", int(tid), "err", err)
 			continue
@@ -332,12 +355,12 @@ func (m *Master) trajectory(t *wire.Trajectory) error {
 
 // orderMigration computes a future plan for the target and tells the
 // client's current edge server to push the layers.
-func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string, target geo.ServerID) error {
+func (m *Master) orderMigration(ctx context.Context, model dnn.ModelName, client int, curAddr string, target geo.ServerID) error {
 	tAddr, ok := m.EdgeAddr(target)
 	if !ok {
 		return fmt.Errorf("master: no address for server %d", target)
 	}
-	st, err := m.pingStats(tAddr)
+	st, err := m.pingStats(ctx, tAddr)
 	if err != nil {
 		return err
 	}
@@ -348,7 +371,7 @@ func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string,
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), wire.DefaultSendTimeout)
+	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
 	defer cancel()
 	conn, err := wire.DialContext(ctx, curAddr)
 	if err != nil {
@@ -378,8 +401,8 @@ func (m *Master) orderMigration(model dnn.ModelName, client int, curAddr string,
 
 // pingStats fetches the live GPU statistics of an edge daemon. A daemon
 // that cannot be reached surfaces as an error wrapping core.ErrServerDown.
-func (m *Master) pingStats(addr string) (*gpusim.Stats, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), wire.DefaultDialTimeout)
+func (m *Master) pingStats(ctx context.Context, addr string) (*gpusim.Stats, error) {
+	ctx, cancel := context.WithTimeout(ctx, wire.DefaultDialTimeout)
 	defer cancel()
 	conn, err := wire.DialContext(ctx, addr)
 	if err != nil {
@@ -401,7 +424,7 @@ func (m *Master) pingStats(addr string) (*gpusim.Stats, error) {
 }
 
 // plan computes a current partitioning plan for a client against a server.
-func (m *Master) plan(r *wire.PlanReq) (*wire.PlanResp, error) {
+func (m *Master) plan(ctx context.Context, r *wire.PlanReq) (*wire.PlanResp, error) {
 	start := time.Now()
 	defer func() { m.met.Histogram("plan_latency_ns").ObserveDuration(time.Since(start)) }()
 	m.met.Counter("plan_requests_total").Inc()
@@ -418,7 +441,7 @@ func (m *Master) plan(r *wire.PlanReq) (*wire.PlanResp, error) {
 	if !ok {
 		return nil, fmt.Errorf("master: unknown server %d", r.Server)
 	}
-	st, err := m.pingStats(addr)
+	st, err := m.pingStats(ctx, addr)
 	if err != nil {
 		return nil, err
 	}

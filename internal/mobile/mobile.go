@@ -129,6 +129,7 @@ func DialContext(ctx context.Context, cfg Config) (*Client, error) {
 //
 // Deprecated: use DialContext, which can carry deadlines and cancellation.
 func Dial(cfg Config) (*Client, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return DialContext(context.Background(), cfg)
 }
 
@@ -180,6 +181,7 @@ func (c *Client) ReportLocationContext(ctx context.Context, p geo.Point) error {
 
 // ReportLocation is ReportLocationContext without cancellation.
 func (c *Client) ReportLocation(p geo.Point) error {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.ReportLocationContext(context.Background(), p)
 }
 
@@ -298,6 +300,7 @@ func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAd
 
 // Connect is ConnectContext without cancellation.
 func (c *Client) Connect(server geo.ServerID, edgeAddr string) error {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.ConnectContext(context.Background(), server, edgeAddr)
 }
 
@@ -358,6 +361,7 @@ func (c *Client) UploadStepContext(ctx context.Context) (bool, error) {
 
 // UploadStep is UploadStepContext without cancellation.
 func (c *Client) UploadStep() (bool, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.UploadStepContext(context.Background())
 }
 
@@ -412,6 +416,7 @@ func (c *Client) QueryContext(ctx context.Context) (time.Duration, error) {
 
 // Query is QueryContext without cancellation.
 func (c *Client) Query() (time.Duration, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.QueryContext(context.Background())
 }
 

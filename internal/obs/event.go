@@ -1,0 +1,41 @@
+package obs
+
+import "time"
+
+// Constructors for journal events.
+//
+// Journal lines must be byte-identical across emission sites and worker
+// counts, and Server/Target use -1 for "none" because 0 is a valid server
+// ID — so an Event must never be assembled from an ad-hoc literal that
+// can silently zero-fill those fields. These constructors take every
+// identity field positionally, in the struct's serialization order; the
+// obsjournal analyzer in internal/lint rejects obs.Event composite
+// literals outside this package.
+
+// NewEvent builds one journal event with every field explicit, in the
+// fixed serialization order: virtual time, type, client, server, target,
+// layers, bytes. Pass NoID (-1) for server or target when the event has
+// none; pass 0 for client, layers, or bytes when they do not apply (they
+// are omitted from the JSONL line).
+func NewEvent(t time.Duration, typ EventType, client, server, target, layers int, bytes int64) Event {
+	return Event{
+		T:      t,
+		Type:   typ,
+		Client: client,
+		Server: server,
+		Target: target,
+		Layers: layers,
+		Bytes:  bytes,
+	}
+}
+
+// NoID is the explicit "no server" value for NewEvent's server and target
+// fields.
+const NoID = -1
+
+// WithRun returns a copy of the event labeled with the originating run,
+// for multi-run exports that concatenate per-run journals.
+func (e Event) WithRun(run string) Event {
+	e.Run = run
+	return e
+}

@@ -181,6 +181,7 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 //
 // Deprecated: use DialContext, which can carry deadlines and cancellation.
 func Dial(addr string) (*Conn, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return DialContext(context.Background(), addr)
 }
 
@@ -233,6 +234,7 @@ func (c *Conn) SendContext(ctx context.Context, e *Envelope) error {
 
 // Send writes one envelope with the default deadline.
 func (c *Conn) Send(e *Envelope) error {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.SendContext(context.Background(), e)
 }
 
@@ -258,6 +260,7 @@ func (c *Conn) RecvContext(ctx context.Context) (*Envelope, error) {
 
 // Recv reads one envelope with the default deadline.
 func (c *Conn) Recv() (*Envelope, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.RecvContext(context.Background())
 }
 
@@ -271,6 +274,7 @@ func (c *Conn) RoundTripContext(ctx context.Context, e *Envelope) (*Envelope, er
 
 // RoundTrip sends a request and reads the reply with default deadlines.
 func (c *Conn) RoundTrip(e *Envelope) (*Envelope, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.RoundTripContext(context.Background(), e)
 }
 
