@@ -47,6 +47,7 @@ func mustEnv(b *testing.B) *edgesim.Env {
 
 // BenchmarkTable1ModelZoo rebuilds the three evaluation models.
 func BenchmarkTable1ModelZoo(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range dnn.ZooNames() {
 			m, err := dnn.ZooModel(name)
@@ -60,6 +61,7 @@ func BenchmarkTable1ModelZoo(b *testing.B) {
 
 // BenchmarkFig1ColdStart replays the 40-query IONN cold-start scenario.
 func BenchmarkFig1ColdStart(b *testing.B) {
+	b.ReportAllocs()
 	var peak time.Duration
 	for i := 0; i < b.N; i++ {
 		res, err := edgesim.RunSingle(edgesim.DefaultSingleConfig(dnn.ModelInception))
@@ -74,6 +76,7 @@ func BenchmarkFig1ColdStart(b *testing.B) {
 // BenchmarkFig4Estimator trains and evaluates the three execution-time
 // estimators on a contended-GPU profiling corpus.
 func BenchmarkFig4Estimator(b *testing.B) {
+	b.ReportAllocs()
 	cfg := estimator.Fig4Config{
 		CorpusSize: 10,
 		Profiling: gpusim.ProfilingConfig{
@@ -96,6 +99,7 @@ func BenchmarkFig4Estimator(b *testing.B) {
 
 // BenchmarkFig5Partitioning runs the shortest-path partitioner per model.
 func BenchmarkFig5Partitioning(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range dnn.ZooNames() {
 		m, err := dnn.ZooModel(name)
 		if err != nil {
@@ -104,6 +108,7 @@ func BenchmarkFig5Partitioning(b *testing.B) {
 		prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
 		req := partition.Request{Profile: prof, Slowdown: 2, Link: partition.LabWiFi()}
 		b.Run(string(name), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := partition.Partition(req); err != nil {
 					b.Fatal(err)
@@ -115,6 +120,7 @@ func BenchmarkFig5Partitioning(b *testing.B) {
 
 // BenchmarkFig6Sensitivity sweeps trajectory length and interval.
 func BenchmarkFig6Sensitivity(b *testing.B) {
+	b.ReportAllocs()
 	cfg := trace.GeolifeConfig()
 	cfg.TrainUsers = 8
 	cfg.TestUsers = 6
@@ -145,6 +151,7 @@ func BenchmarkFig6Sensitivity(b *testing.B) {
 
 // BenchmarkFig7ProactiveMigration measures the PM speedup at the switch.
 func BenchmarkFig7ProactiveMigration(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		base := edgesim.DefaultSingleConfig(dnn.ModelInception)
@@ -164,6 +171,7 @@ func BenchmarkFig7ProactiveMigration(b *testing.B) {
 
 // BenchmarkTable2Throughput measures hit vs miss queries during upload.
 func BenchmarkTable2Throughput(b *testing.B) {
+	b.ReportAllocs()
 	var hit, miss int
 	for i := 0; i < b.N; i++ {
 		res, err := edgesim.RunUploadThroughput(dnn.ModelResNet, 500*time.Millisecond, partition.LabWiFi())
@@ -178,6 +186,7 @@ func BenchmarkTable2Throughput(b *testing.B) {
 
 // BenchmarkTable3Predictors trains and scores the SVR predictor.
 func BenchmarkTable3Predictors(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	var top2 float64
 	b.ResetTimer()
@@ -197,6 +206,7 @@ func BenchmarkTable3Predictors(b *testing.B) {
 
 // BenchmarkFig9LargeScale runs the compact city simulation under PerDNN.
 func BenchmarkFig9LargeScale(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	var hit float64
 	b.ResetTimer()
@@ -216,6 +226,7 @@ func BenchmarkFig9LargeScale(b *testing.B) {
 // of BenchmarkFig9LargeScale, and the workload behind perdnn-bench -exp
 // fig9. Reports aggregate hit ratio across the matrix.
 func BenchmarkFig9Sweep(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	var cfgs []edgesim.CityConfig
 	for _, model := range dnn.ZooNames() {
@@ -247,6 +258,7 @@ func BenchmarkFig9Sweep(b *testing.B) {
 
 // BenchmarkFig10Fractional runs the fractional-migration comparison.
 func BenchmarkFig10Fractional(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	var cut float64
 	b.ResetTimer()
@@ -263,6 +275,7 @@ func BenchmarkFig10Fractional(b *testing.B) {
 
 // BenchmarkAblationUploadOrder compares efficiency-first vs front-to-back.
 func BenchmarkAblationUploadOrder(b *testing.B) {
+	b.ReportAllocs()
 	m := dnn.Inception21k()
 	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
 	link := partition.LabWiFi()
@@ -298,6 +311,7 @@ func BenchmarkAblationUploadOrder(b *testing.B) {
 // (expected latency when the servers are indistinguishable) at high
 // contention.
 func BenchmarkAblationGPUAware(b *testing.B) {
+	b.ReportAllocs()
 	m := dnn.Inception21k()
 	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
 	est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), 1)
@@ -337,6 +351,7 @@ func BenchmarkAblationGPUAware(b *testing.B) {
 // BenchmarkAblationTTL sweeps the layer-cache TTL: all TTL settings run as
 // one parallel sweep per iteration.
 func BenchmarkAblationTTL(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	ttls := []int{1, 5}
 	var cfgs []edgesim.CityConfig
@@ -379,6 +394,7 @@ func itoa(v int) string {
 // BenchmarkAblationRadius sweeps the migration radius: all radii run as one
 // parallel sweep per iteration.
 func BenchmarkAblationRadius(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	radii := []float64{50, 150}
 	var cfgs []edgesim.CityConfig
@@ -404,6 +420,7 @@ func BenchmarkAblationRadius(b *testing.B) {
 
 // BenchmarkAblationPredictor plugs different predictors into the full loop.
 func BenchmarkAblationPredictor(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	lin := &mobility.Linear{}
 	lin.FitPlacement(env.Placement)
@@ -411,6 +428,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 	for _, p := range preds {
 		p := p
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			pEnv := *env
 			pEnv.Predictor = p
 			var hit float64
@@ -430,6 +448,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 // BenchmarkExtensionMultiDNN runs the multi-DNN client with the joint
 // upload strategy and reports its throughput advantage over sequential.
 func BenchmarkExtensionMultiDNN(b *testing.B) {
+	b.ReportAllocs()
 	var extra float64
 	for i := 0; i < b.N; i++ {
 		joint, err := edgesim.RunMultiDNN(edgesim.DefaultMultiConfig(edgesim.UploadJoint))
@@ -447,6 +466,7 @@ func BenchmarkExtensionMultiDNN(b *testing.B) {
 
 // BenchmarkExtensionRouting runs the Section III.A routing alternative.
 func BenchmarkExtensionRouting(b *testing.B) {
+	b.ReportAllocs()
 	env := mustEnv(b)
 	var misses float64
 	b.ResetTimer()
@@ -458,4 +478,124 @@ func BenchmarkExtensionRouting(b *testing.B) {
 		misses = float64(res.Misses)
 	}
 	b.ReportMetric(misses, "cold-starts")
+}
+
+// BenchmarkPerfSolverPartition measures the scratch-solver planning hot
+// path per model: steady-state, it must run allocation-free.
+func BenchmarkPerfSolverPartition(b *testing.B) {
+	b.ReportAllocs()
+	for _, name := range dnn.ZooNames() {
+		m, err := dnn.ZooModel(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+		req := partition.Request{Profile: prof, Slowdown: 2, Link: partition.LabWiFi()}
+		b.Run(string(name), func(b *testing.B) {
+			b.ReportAllocs()
+			s := partition.NewSolver()
+			if _, err := s.Partition(req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Partition(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPerfReferencePartition measures the pre-optimization
+// partitioner on the same inputs — the baseline the solver's speedup in
+// BENCH_PR5.json is computed against.
+func BenchmarkPerfReferencePartition(b *testing.B) {
+	b.ReportAllocs()
+	for _, name := range dnn.ZooNames() {
+		m, err := dnn.ZooModel(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+		req := partition.Request{Profile: prof, Slowdown: 2, Link: partition.LabWiFi()}
+		b.Run(string(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.ReferencePartition(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPerfUploadSchedule measures the efficiency-first scheduler with
+// a held solver against the reference map-based implementation.
+func BenchmarkPerfUploadSchedule(b *testing.B) {
+	b.ReportAllocs()
+	m := dnn.Inception21k()
+	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+	req := partition.Request{Profile: prof, Slowdown: 1, Link: partition.LabWiFi()}
+	plan, err := partition.Partition(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("solver", func(b *testing.B) {
+		b.ReportAllocs()
+		s := partition.NewSolver()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.UploadSchedule(req, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := partition.ReferenceUploadSchedule(req, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPerfDecompose measures the zero-alloc assignment decomposition
+// against the reference successor-rebuilding implementation.
+func BenchmarkPerfDecompose(b *testing.B) {
+	b.ReportAllocs()
+	m, err := dnn.ZooModel(dnn.ModelInception)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+	loc := partition.AllServer(m)
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			partition.Decompose(prof, loc)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			partition.ReferenceDecompose(prof, loc)
+		}
+	})
+}
+
+// BenchmarkPerfSlowdownEstimate measures the memoized slowdown estimator on
+// a fixed GPU state — the per-(client, server) cost of every planning tick.
+func BenchmarkPerfSlowdownEstimate(b *testing.B) {
+	b.ReportAllocs()
+	est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := gpusim.Stats{ActiveClients: 4, KernelUtil: 0.77, MemUtil: 0.41, MemUsedMB: 6300, TempC: 71}
+	est.EstimateSlowdown(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.EstimateSlowdown(st)
+	}
 }

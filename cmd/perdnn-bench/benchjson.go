@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/edgesim"
+	"perdnn/internal/estimator"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/partition"
+	"perdnn/internal/profile"
+	"perdnn/internal/trace"
+)
+
+// The -benchjson mode measures the planning/simulation hot paths with
+// testing.Benchmark and writes the results as JSON, pairing each optimized
+// path with its pre-optimization reference implementation so speedups are
+// measured inside one binary under identical conditions. BENCH_PR5.json in
+// the repo root is a checked-in run of this mode.
+
+// benchEntry is one measured benchmark.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// benchReport is the JSON document -benchjson writes.
+type benchReport struct {
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	CPUs       int          `json:"cpus"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	// Speedups maps a workload to reference-ns-per-op / optimized-ns-per-op.
+	Speedups map[string]float64 `json:"speedups"`
+	// City-simulation throughput: completed queries per wall-clock second
+	// over a compact city run (the end-to-end figure of merit).
+	CityQueries       int     `json:"cityQueries"`
+	CityWallSeconds   float64 `json:"cityWallSeconds"`
+	CityQueriesPerSec float64 `json:"cityQueriesPerSec"`
+}
+
+// measure runs fn under testing.Benchmark and records it.
+func (r *benchReport) measure(name string, fn func(b *testing.B)) benchEntry {
+	res := testing.Benchmark(fn)
+	e := benchEntry{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	r.Benchmarks = append(r.Benchmarks, e)
+	fmt.Printf("  %-36s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	return e
+}
+
+// runBenchJSON executes the microbenchmark suite and writes path.
+func runBenchJSON(path string, quick bool) error {
+	rep := &benchReport{
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Speedups: map[string]float64{},
+	}
+	fmt.Println("planning microbenchmarks (optimized vs reference):")
+
+	for _, name := range dnn.ZooNames() {
+		m, err := dnn.ZooModel(name)
+		if err != nil {
+			return err
+		}
+		prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+		req := partition.Request{Profile: prof, Slowdown: 2, Link: partition.LabWiFi()}
+
+		s := partition.NewSolver()
+		if _, err := s.Partition(req); err != nil {
+			return err
+		}
+		opt := rep.measure("partition/"+string(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Partition(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ref := rep.measure("partition-reference/"+string(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.ReferencePartition(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Speedups["partition/"+string(name)] = ref.NsPerOp / opt.NsPerOp
+	}
+
+	{
+		m, err := dnn.ZooModel(dnn.ModelInception)
+		if err != nil {
+			return err
+		}
+		prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+		req := partition.Request{Profile: prof, Slowdown: 1, Link: partition.LabWiFi()}
+		plan, err := partition.Partition(req)
+		if err != nil {
+			return err
+		}
+		s := partition.NewSolver()
+		opt := rep.measure("upload-schedule/inception", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.UploadSchedule(req, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ref := rep.measure("upload-schedule-reference/inception", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.ReferenceUploadSchedule(req, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Speedups["upload-schedule/inception"] = ref.NsPerOp / opt.NsPerOp
+
+		loc := partition.AllServer(m)
+		optD := rep.measure("decompose/inception", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				partition.Decompose(prof, loc)
+			}
+		})
+		refD := rep.measure("decompose-reference/inception", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				partition.ReferenceDecompose(prof, loc)
+			}
+		})
+		rep.Speedups["decompose/inception"] = refD.NsPerOp / optD.NsPerOp
+	}
+
+	{
+		est, err := estimator.TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), 1)
+		if err != nil {
+			return err
+		}
+		st := gpusim.Stats{ActiveClients: 4, KernelUtil: 0.77, MemUtil: 0.41, MemUsedMB: 6300, TempC: 71}
+		est.EstimateSlowdown(st)
+		rep.measure("slowdown-estimate", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				est.EstimateSlowdown(st)
+			}
+		})
+	}
+
+	if err := benchCitySim(rep, quick); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perdnn-bench: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("perdnn-bench: writing %s: %w", path, err)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	for k, v := range rep.Speedups {
+		fmt.Printf("  speedup %-28s %.1fx\n", k, v)
+	}
+	return nil
+}
+
+// benchCitySim wall-clocks one compact city run and records end-to-end
+// query throughput.
+func benchCitySim(rep *benchReport, quick bool) error {
+	cfg := trace.KAISTConfig()
+	cfg.TrainUsers = 16
+	cfg.TestUsers = 12
+	cfg.Duration = time.Hour
+	base, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	ecfg := edgesim.DefaultEnvConfig()
+	ecfg.MaxTrainWindows = 6000
+	env, err := edgesim.PrepareEnv(base, ecfg)
+	if err != nil {
+		return err
+	}
+	ccfg := edgesim.DefaultCityConfig(dnn.ModelResNet, edgesim.ModePerDNN, 100)
+	if quick {
+		ccfg.MaxSteps = 60
+	}
+	// Warm the process-wide plan cache so the measured run reflects the
+	// steady state a sweep operates in.
+	if _, err := edgesim.RunCity(env, ccfg); err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := edgesim.RunCity(env, ccfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	rep.CityQueries = res.TotalQueries
+	rep.CityWallSeconds = wall
+	if wall > 0 {
+		rep.CityQueriesPerSec = float64(res.TotalQueries) / wall
+	}
+	fmt.Printf("  %-36s %12.0f queries/s (%d queries in %.2fs)\n",
+		"city-sim", rep.CityQueriesPerSec, res.TotalQueries, wall)
+	return nil
+}

@@ -123,13 +123,9 @@ func (p *Planner) planAt(slowdown float64) (*PlanEntry, error) {
 		if req.Slowdown < 1 {
 			req.Slowdown = 1
 		}
-		plan, err := partition.Partition(req)
+		plan, sched, err := partition.PlanAndSchedule(req)
 		if err != nil {
 			return nil, fmt.Errorf("core: planning at slowdown %.2f: %w", slowdown, err)
-		}
-		sched, err := partition.UploadSchedule(req, plan)
-		if err != nil {
-			return nil, fmt.Errorf("core: scheduling at slowdown %.2f: %w", slowdown, err)
 		}
 		return &PlanEntry{Plan: plan, Schedule: sched}, nil
 	})

@@ -207,5 +207,6 @@ func (b *Builder) Build() *Model {
 	if err := m.Validate(); err != nil {
 		panic(fmt.Sprintf("dnn: invalid model: %v", err))
 	}
+	m.initTopo()
 	return m
 }

@@ -29,6 +29,7 @@ func ReadJSON(r io.Reader) (*Model, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("dnn: loaded model is invalid: %w", err)
 	}
+	m.initTopo()
 	return &m, nil
 }
 

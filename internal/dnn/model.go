@@ -10,6 +10,11 @@ import (
 type Model struct {
 	Name   string  `json:"name"`
 	Layers []Layer `json:"layers"`
+
+	// topo lazily computes the cached Topology exactly once (sync.OnceValue).
+	// It is installed by the package's constructors (Builder.Build,
+	// ReadJSON); Topo falls back to an uncached computation when nil.
+	topo func() *Topology
 }
 
 // NumLayers returns the number of layers in the model.
@@ -55,15 +60,11 @@ func (m *Model) InputShape() Shape {
 func (m *Model) OutputLayer() LayerID { return LayerID(len(m.Layers) - 1) }
 
 // Successors returns, for each layer, the IDs of the layers consuming its
-// output. The final layer has no successors.
+// output. The final layer has no successors. The result is the cached
+// Topology's successor table, shared across callers: it must be treated as
+// read-only (use Topo for the richer cached view).
 func (m *Model) Successors() [][]LayerID {
-	succ := make([][]LayerID, len(m.Layers))
-	for i := range m.Layers {
-		for _, in := range m.Layers[i].Inputs {
-			succ[in] = append(succ[in], LayerID(i))
-		}
-	}
-	return succ
+	return m.Topo().Succ
 }
 
 // Validate checks the structural invariants every model must satisfy:

@@ -399,6 +399,29 @@ type world struct {
 	// runs, so the journal records "first use within this run" instead,
 	// which is deterministic at every worker count.
 	seenPlans map[*core.PlanEntry]bool
+	// locBuf is the per-run location scratch splitFor decomposes through.
+	// The run is single-threaded, so one buffer serves every client.
+	locBuf []partition.Location
+}
+
+// splitFor decomposes the client's current assignment — the layers in its
+// curSet on the server, everything else on the client — through the world's
+// reused location scratch, so the per-upload re-decompositions in the query
+// loop allocate nothing.
+func (w *world) splitFor(c *simClient) partition.Split {
+	n := w.model.NumLayers()
+	if cap(w.locBuf) < n {
+		w.locBuf = make([]partition.Location, n)
+	}
+	loc := w.locBuf[:n]
+	for i := 0; i < n; i++ {
+		if c.curSet.Has(dnn.LayerID(i)) {
+			loc[i] = partition.AtServer
+		} else {
+			loc[i] = partition.AtClient
+		}
+	}
+	return partition.Decompose(w.prof, loc)
 }
 
 // event appends one journal entry at the current virtual time; a no-op
@@ -702,7 +725,7 @@ func (w *world) localFallback(c *simClient, down geo.ServerID) {
 	c.cur = geo.NoServer
 	c.entry = nil
 	c.pending = c.pending[:0]
-	c.curSet = NewLayerSet(w.model.NumLayers())
+	c.curSet.Reset(w.model.NumLayers())
 	c.split = partition.Split{}
 	w.res.LocalFallbacks++
 	w.met.localFallbks.Inc()
@@ -775,7 +798,7 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 	w.trackPlan(entry, c.id, sid)
 	planLayers := entry.Plan.ServerLayers()
 
-	c.curSet = NewLayerSet(w.model.NumLayers())
+	c.curSet.Reset(w.model.NumLayers())
 	switch w.cfg.Mode {
 	case ModeOptimal:
 		c.curSet.AddAll(planLayers)
@@ -828,7 +851,7 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 			c.pending = append(c.pending, chunk)
 		}
 	}
-	c.split = partition.Decompose(w.prof, partition.WithOffloaded(w.model, setToMap(c.curSet, w.model.NumLayers())))
+	c.split = w.splitFor(c)
 
 	w.uploadNext(c, c.gen)
 	if !c.chain {
@@ -844,17 +867,6 @@ func scheduleLayers(units []partition.UploadUnit) int {
 		n += len(u.Layers)
 	}
 	return n
-}
-
-// setToMap converts a LayerSet to the map form WithOffloaded consumes.
-func setToMap(s LayerSet, n int) map[dnn.LayerID]bool {
-	out := make(map[dnn.LayerID]bool, n)
-	for i := 0; i < n; i++ {
-		if s.Has(dnn.LayerID(i)) {
-			out[dnn.LayerID(i)] = true
-		}
-	}
-	return out
 }
 
 // uploadNext ships the next missing chunk over the wireless uplink.
@@ -878,7 +890,7 @@ func (w *world) uploadNext(c *simClient, gen int) {
 		}
 		w.servers[sid].store.add(w.eng.Now(), w.storeKey(c.id), chunk, w.ttl())
 		c.curSet.AddAll(chunk)
-		c.split = partition.Decompose(w.prof, partition.WithOffloaded(w.model, setToMap(c.curSet, w.model.NumLayers())))
+		c.split = w.splitFor(c)
 		w.uploadNext(c, gen)
 	})
 }

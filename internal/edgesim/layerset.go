@@ -44,6 +44,22 @@ func (s LayerSet) Clear() {
 	}
 }
 
+// Reset empties the set and (re)sizes it for a model with n layers,
+// reusing the existing backing array when it is large enough. The reuse
+// matters in the city simulation, which resets every client's layer set on
+// every reconnection.
+func (s *LayerSet) Reset(n int) {
+	words := (n + 63) / 64
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	}
+	s.words = s.words[:words]
+	s.n = n
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy.
 func (s LayerSet) Clone() LayerSet {
 	out := LayerSet{words: make([]uint64, len(s.words)), n: s.n}

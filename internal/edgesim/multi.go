@@ -152,16 +152,7 @@ func RunMultiDNN(cfg MultiConfig) (*MultiResult, error) {
 			return nil, err
 		}
 		st := &modelState{model: m, prof: prof, sched: sched}
-		st.prefixLat = make([]time.Duration, len(sched)+1)
-		off := make(map[dnn.LayerID]bool, 64)
-		for k := 0; k <= len(sched); k++ {
-			st.prefixLat[k] = partition.Decompose(prof, partition.WithOffloaded(m, off)).Latency(cfg.Link, 1)
-			if k < len(sched) {
-				for _, id := range sched[k].Layers {
-					off[id] = true
-				}
-			}
-		}
+		st.prefixLat = prefixLatencies(prof, sched, cfg.Link)
 		states = append(states, st)
 		for _, u := range sched {
 			allUnits = append(allUnits, multiUnit{model: mi, unit: u})

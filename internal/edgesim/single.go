@@ -109,17 +109,7 @@ func RunSingle(cfg SingleConfig) (*SingleResult, error) {
 	// Latency after each schedule prefix (uploads follow the schedule, and
 	// fractional migration takes a prefix, so every reachable state is a
 	// prefix).
-	prefixLat := make([]time.Duration, len(sched)+1)
-	off := make(map[dnn.LayerID]bool, plan.NumServerLayers())
-	for k := 0; k <= len(sched); k++ {
-		sp := partition.Decompose(prof, partition.WithOffloaded(m, off))
-		prefixLat[k] = sp.Latency(cfg.Link, 1)
-		if k < len(sched) {
-			for _, id := range sched[k].Layers {
-				off[id] = true
-			}
-		}
-	}
+	prefixLat := prefixLatencies(prof, sched, cfg.Link)
 	// Unit completion offsets from upload start.
 	unitDone := make([]time.Duration, len(sched))
 	var cum time.Duration
@@ -194,16 +184,7 @@ func UploadReplay(model dnn.ModelName, gap time.Duration, link partition.Link, s
 	}
 	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
 
-	off := make(map[dnn.LayerID]bool, 64)
-	prefixLat := make([]time.Duration, len(sched)+1)
-	for k := 0; k <= len(sched); k++ {
-		prefixLat[k] = partition.Decompose(prof, partition.WithOffloaded(m, off)).Latency(link, 1)
-		if k < len(sched) {
-			for _, id := range sched[k].Layers {
-				off[id] = true
-			}
-		}
-	}
+	prefixLat := prefixLatencies(prof, sched, link)
 	unitDone := make([]time.Duration, len(sched))
 	var cum time.Duration
 	for i := preUnits; i < len(sched); i++ {
@@ -268,17 +249,7 @@ func RunUploadThroughput(model dnn.ModelName, gap time.Duration, link partition.
 		}
 		window := link.UpTime(plan.ServerBytes())
 
-		// Prefix latencies.
-		off := make(map[dnn.LayerID]bool, plan.NumServerLayers())
-		prefixLat := make([]time.Duration, len(sched)+1)
-		for k := 0; k <= len(sched); k++ {
-			prefixLat[k] = partition.Decompose(prof, partition.WithOffloaded(m, off)).Latency(link, 1)
-			if k < len(sched) {
-				for _, id := range sched[k].Layers {
-					off[id] = true
-				}
-			}
-		}
+		prefixLat := prefixLatencies(prof, sched, link)
 		unitDone := make([]time.Duration, len(sched))
 		var cum time.Duration
 		for i, u := range sched {

@@ -54,7 +54,15 @@ func LoadFeatureNames() []string {
 
 // LayerFeatures extracts the hyperparameter feature vector of a layer.
 func LayerFeatures(l *dnn.Layer) []float64 {
-	f := make([]float64, numLayerFeatures)
+	return LayerFeaturesInto(make([]float64, numLayerFeatures), l)
+}
+
+// LayerFeaturesInto fills dst (len >= 8, the layer feature count) with the
+// hyperparameter features of l and returns the filled prefix. With a
+// caller-owned buffer it performs no allocation — the hot-path variant of
+// LayerFeatures.
+func LayerFeaturesInto(dst []float64, l *dnn.Layer) []float64 {
+	f := dst[:numLayerFeatures]
 	f[lfFLOPs] = float64(l.FLOPs) / 1e9
 	f[lfKernel] = float64(l.Hyper.Kernel)
 	f[lfStride] = float64(l.Hyper.Stride)
@@ -68,7 +76,15 @@ func LayerFeatures(l *dnn.Layer) []float64 {
 
 // LoadFeatures extracts the workload feature vector from a GPU sample.
 func LoadFeatures(st gpusim.Stats) []float64 {
-	f := make([]float64, numLoadFeatures)
+	return LoadFeaturesInto(make([]float64, numLoadFeatures), st)
+}
+
+// LoadFeaturesInto fills dst (len >= 5, the load feature count) with the
+// workload features of st and returns the filled prefix. With a
+// caller-owned buffer it performs no allocation — the hot-path variant of
+// LoadFeatures.
+func LoadFeaturesInto(dst []float64, st gpusim.Stats) []float64 {
+	f := dst[:numLoadFeatures]
 	f[wfClients] = float64(st.ActiveClients)
 	f[wfKernelUtil] = st.KernelUtil
 	f[wfMemUtil] = st.MemUtil
@@ -79,12 +95,18 @@ func LoadFeatures(st gpusim.Stats) []float64 {
 
 // CombinedFeatures concatenates layer and workload features.
 func CombinedFeatures(l *dnn.Layer, st gpusim.Stats) []float64 {
-	lf := LayerFeatures(l)
-	wf := LoadFeatures(st)
-	out := make([]float64, 0, len(lf)+len(wf))
-	out = append(out, lf...)
-	out = append(out, wf...)
-	return out
+	return CombinedFeaturesInto(make([]float64, numLayerFeatures+numLoadFeatures), l, st)
+}
+
+// CombinedFeaturesInto fills dst (len >= 13, the combined feature count)
+// with the layer features of l followed by the workload features of st and
+// returns the filled prefix. With a caller-owned buffer it performs no
+// allocation — the hot-path variant of CombinedFeatures.
+func CombinedFeaturesInto(dst []float64, l *dnn.Layer, st gpusim.Stats) []float64 {
+	f := dst[:numLayerFeatures+numLoadFeatures]
+	LayerFeaturesInto(f[:numLayerFeatures], l)
+	LoadFeaturesInto(f[numLayerFeatures:], st)
+	return f
 }
 
 // CombinedFeatureNames returns the names for CombinedFeatures vectors.

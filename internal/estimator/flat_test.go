@@ -1,0 +1,174 @@
+package estimator
+
+import (
+	"math/rand"
+	"testing"
+
+	"perdnn/internal/gpusim"
+	"perdnn/internal/profile"
+	"perdnn/internal/raceguard"
+)
+
+// testServerEstimator trains one slowdown estimator for the memo tests; the
+// seeded training makes it deterministic, so tests can compare repeated
+// predictions exactly.
+func testServerEstimator(t *testing.T) *ServerEstimator {
+	t.Helper()
+	est, err := TrainServerEstimator(profile.ServerTitanXp(), gpusim.DefaultParams(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// walkPerTree predicts by walking the forest tree by tree with tree-local
+// semantics — the pre-flattening representation reconstructed from the
+// arena. It is the oracle the arena layout is checked against.
+func walkPerTree(f *Forest, row []float64) float64 {
+	var sum float64
+	for t := 0; t < f.NumTrees(); t++ {
+		start := f.bounds[t]
+		n := start // root is the tree's first node
+		for f.left[n] >= 0 {
+			// Children of tree t must stay inside tree t.
+			if f.left[n] < start || f.right[n] >= f.bounds[t+1] {
+				panic("arena child index escapes its tree")
+			}
+			if row[f.feature[n]] <= f.threshold[n] {
+				n = f.left[n]
+			} else {
+				n = f.right[n]
+			}
+		}
+		sum += f.value[n]
+	}
+	return sum / float64(f.NumTrees())
+}
+
+func TestFlatForestMatchesPerTreeWalk(t *testing.T) {
+	x, y := makeNonlinear(3, 600)
+	f, err := TrainForest(x, y, ForestConfig{NumTrees: 20, MaxDepth: 10, MinLeaf: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		row := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2, rng.Float64()}
+		if got, want := f.Predict(row), walkPerTree(f, row); got != want {
+			t.Fatalf("row %d: arena Predict %v != per-tree walk %v", i, got, want)
+		}
+	}
+}
+
+func TestFlatForestArenaInvariants(t *testing.T) {
+	x, y := makeNonlinear(5, 400)
+	f, err := TrainForest(x, y, ForestConfig{NumTrees: 8, MaxDepth: 8, MinLeaf: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(f.value)
+	if len(f.feature) != n || len(f.threshold) != n || len(f.left) != n || len(f.right) != n {
+		t.Fatalf("arena arrays disagree on length: %d/%d/%d/%d/%d",
+			len(f.feature), len(f.threshold), len(f.left), len(f.right), n)
+	}
+	if f.NumTrees() != 8 {
+		t.Fatalf("NumTrees = %d, want 8", f.NumTrees())
+	}
+	if f.bounds[0] != 0 || int(f.bounds[len(f.bounds)-1]) != n {
+		t.Fatalf("bounds not anchored: first=%d last=%d n=%d", f.bounds[0], f.bounds[len(f.bounds)-1], n)
+	}
+	for t2 := 0; t2 < f.NumTrees(); t2++ {
+		if f.bounds[t2] >= f.bounds[t2+1] {
+			t.Fatalf("tree %d is empty in the arena", t2)
+		}
+	}
+}
+
+func TestForestPredictAllocsFree(t *testing.T) {
+	if raceguard.Enabled {
+		t.Skip("race detector instrumentation allocates; gate runs in non-race builds")
+	}
+	x, y := makeNonlinear(1, 500)
+	f, err := TrainForest(x, y, ForestConfig{NumTrees: 30, MaxDepth: 12, MinLeaf: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{0.3, -1.2, 0.5}
+	if n := testing.AllocsPerRun(100, func() { f.Predict(row) }); n != 0 {
+		t.Errorf("Forest.Predict allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestFeatureIntoVariantsMatchAllocating(t *testing.T) {
+	l := gpusim.ConvLayerCorpus(1, 1)[0]
+	st := gpusim.Stats{ActiveClients: 3, KernelUtil: 0.71, MemUtil: 0.33, MemUsedMB: 5120, TempC: 67}
+
+	var lbuf [numLayerFeatures]float64
+	if got, want := LayerFeaturesInto(lbuf[:], &l), LayerFeatures(&l); !equalSlices(got, want) {
+		t.Errorf("LayerFeaturesInto = %v, want %v", got, want)
+	}
+	var wbuf [numLoadFeatures]float64
+	if got, want := LoadFeaturesInto(wbuf[:], st), LoadFeatures(st); !equalSlices(got, want) {
+		t.Errorf("LoadFeaturesInto = %v, want %v", got, want)
+	}
+	var cbuf [numLayerFeatures + numLoadFeatures]float64
+	if got, want := CombinedFeaturesInto(cbuf[:], &l, st), CombinedFeatures(&l, st); !equalSlices(got, want) {
+		t.Errorf("CombinedFeaturesInto = %v, want %v", got, want)
+	}
+}
+
+func equalSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEstimateSlowdownMemoTransparent(t *testing.T) {
+	est := testServerEstimator(t)
+	stats := []gpusim.Stats{
+		{},
+		{ActiveClients: 2, KernelUtil: 0.4, MemUtil: 0.2, MemUsedMB: 3000, TempC: 55},
+		{ActiveClients: 6, KernelUtil: 0.93, MemUtil: 0.6, MemUsedMB: 9000, TempC: 80},
+	}
+	for _, st := range stats {
+		first := est.EstimateSlowdown(st) // cold: computes and caches
+		for i := 0; i < 3; i++ {
+			if got := est.EstimateSlowdown(st); got != first {
+				t.Fatalf("memoized slowdown drifted: %v != %v at %+v", got, first, st)
+			}
+		}
+		// The cached value must equal the uncached forest prediction at the
+		// bucket's canonical state — the memo is a pure lookup table.
+		_, center := quantizeStats(st)
+		if want := est.slowdownAt(center); first != want {
+			t.Fatalf("memo value %v != bucket-center prediction %v at %+v", first, want, st)
+		}
+		if first < 1 {
+			t.Fatalf("slowdown %v < 1", first)
+		}
+	}
+}
+
+func TestEstimateSlowdownNilMemoSafe(t *testing.T) {
+	est := testServerEstimator(t)
+	bare := &ServerEstimator{dev: est.dev, forest: est.forest} // no memo
+	st := gpusim.Stats{ActiveClients: 4, KernelUtil: 0.8, MemUtil: 0.5, MemUsedMB: 6000, TempC: 70}
+	if got, want := bare.EstimateSlowdown(st), bare.slowdownAt(st); got != want {
+		t.Fatalf("memo-less estimator: %v != direct prediction %v", got, want)
+	}
+}
+
+func TestQuantizeStatsIsIdempotent(t *testing.T) {
+	st := gpusim.Stats{ActiveClients: 5, KernelUtil: 0.612, MemUtil: 0.347, MemUsedMB: 7213, TempC: 71.3}
+	k1, center := quantizeStats(st)
+	k2, center2 := quantizeStats(center)
+	if k1 != k2 || center != center2 {
+		t.Fatalf("bucket center re-quantizes differently: %+v -> %+v", k1, k2)
+	}
+}

@@ -29,11 +29,63 @@ func DefaultForestConfig() ForestConfig {
 }
 
 // Forest is a trained random-forest regressor.
+//
+// The ensemble is stored as one contiguous struct-of-arrays node arena
+// rather than a slice of per-tree node slices: Predict walks sixty-odd
+// root-to-leaf paths per call, and keeping each node field in its own dense
+// array keeps those walks inside a handful of cache lines instead of
+// chasing a pointer per tree. Children hold global arena indices; leaves
+// have left == -1.
 type Forest struct {
-	trees      []*regTree
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	value     []float64
+	// bounds[t] is the arena index of tree t's root (trees are stored
+	// contiguously, root first), with a final sentinel at len(value), so
+	// tree t spans bounds[t]..bounds[t+1].
+	bounds []int32
+
 	importance []float64
 	nFeatures  int
 	oobMAE     float64
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.bounds) - 1 }
+
+// flattenTrees packs per-tree node slices into the forest's arena,
+// preserving node order within each tree and rebasing child indices to
+// global arena positions.
+func (f *Forest) flattenTrees(trees []*regTree) {
+	total := 0
+	for _, t := range trees {
+		total += len(t.nodes)
+	}
+	f.feature = make([]int32, 0, total)
+	f.threshold = make([]float64, 0, total)
+	f.left = make([]int32, 0, total)
+	f.right = make([]int32, 0, total)
+	f.value = make([]float64, 0, total)
+	f.bounds = make([]int32, 0, len(trees)+1)
+	for _, t := range trees {
+		start := int32(len(f.value))
+		f.bounds = append(f.bounds, start)
+		for _, n := range t.nodes {
+			l, r := n.left, n.right
+			if l >= 0 {
+				l += start
+				r += start
+			}
+			f.feature = append(f.feature, int32(n.feature))
+			f.threshold = append(f.threshold, n.threshold)
+			f.left = append(f.left, l)
+			f.right = append(f.right, r)
+			f.value = append(f.value, n.value)
+		}
+	}
+	f.bounds = append(f.bounds, int32(len(f.value)))
 }
 
 // treeOut is the full output of one tree's training pass, merged into the
@@ -113,14 +165,14 @@ func TrainForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) 
 
 	// Merge in tree order: floating-point accumulation order stays fixed.
 	f := &Forest{
-		trees:      make([]*regTree, 0, cfg.NumTrees),
 		importance: make([]float64, p),
 		nFeatures:  p,
 	}
+	trees := make([]*regTree, 0, cfg.NumTrees)
 	oobSum := make([]float64, len(x))
 	oobCnt := make([]int, len(x))
 	for t := range outs {
-		f.trees = append(f.trees, outs[t].tree)
+		trees = append(trees, outs[t].tree)
 		for j, v := range outs[t].importance {
 			f.importance[j] += v
 		}
@@ -144,6 +196,7 @@ func TrainForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) 
 	if errN > 0 {
 		f.oobMAE = errSum / float64(errN)
 	}
+	f.flattenTrees(trees)
 	return f, nil
 }
 
@@ -185,16 +238,28 @@ func absFloat(v float64) float64 {
 func (f *Forest) OOBMAE() float64 { return f.oobMAE }
 
 // Predict returns the forest's prediction (mean over trees) for one feature
-// vector. It panics on a feature-count mismatch.
+// vector. It panics on a feature-count mismatch. Predict allocates nothing:
+// it walks one root-to-leaf path per tree through the node arena, summing
+// leaf values in tree order (the same accumulation order as the original
+// per-tree representation, so predictions are bit-identical to it).
 func (f *Forest) Predict(row []float64) float64 {
 	if len(row) != f.nFeatures {
 		panic(fmt.Sprintf("estimator: predict with %d features, forest has %d", len(row), f.nFeatures))
 	}
 	var sum float64
-	for _, t := range f.trees {
-		sum += t.predict(row)
+	numTrees := len(f.bounds) - 1
+	for t := 0; t < numTrees; t++ {
+		n := f.bounds[t]
+		for f.left[n] >= 0 {
+			if row[f.feature[n]] <= f.threshold[n] {
+				n = f.left[n]
+			} else {
+				n = f.right[n]
+			}
+		}
+		sum += f.value[n]
 	}
-	return sum / float64(len(f.trees))
+	return sum / float64(numTrees)
 }
 
 // Importance returns the normalized impurity-decrease importance of each

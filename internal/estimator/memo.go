@@ -1,0 +1,75 @@
+package estimator
+
+import (
+	"math"
+	"sync"
+
+	"perdnn/internal/gpusim"
+)
+
+// slowdownKey is a quantized GPU state: the memo key for EstimateSlowdown.
+// The buckets are far finer than the slowdown forest's sensitivity (a split
+// threshold separates states differing by whole clients or tens of percent
+// of utilization), so bucketing costs essentially no accuracy while letting
+// the master reuse predictions across the near-identical stats it sees on
+// consecutive planning ticks.
+type slowdownKey struct {
+	clients int
+	kernelQ int16 // KernelUtil in 1/256 steps
+	memQ    int16 // MemUtil in 1/256 steps
+	memMB16 int32 // MemUsedMB in 16 MiB steps
+	tempQ   int16 // TempC in 0.25 degC steps
+}
+
+// quantizeStats buckets st and returns both the key and the bucket's
+// canonical state. The forest is always evaluated at the canonical state,
+// never at the raw one, so the mapping key -> value is exact and the memo
+// is transparent: hit or miss, the same bucket yields the same slowdown.
+func quantizeStats(st gpusim.Stats) (slowdownKey, gpusim.Stats) {
+	k := slowdownKey{
+		clients: st.ActiveClients,
+		kernelQ: int16(math.Round(st.KernelUtil * 256)),
+		memQ:    int16(math.Round(st.MemUtil * 256)),
+		memMB16: int32(math.Round(st.MemUsedMB / 16)),
+		tempQ:   int16(math.Round(st.TempC * 4)),
+	}
+	center := gpusim.Stats{
+		ActiveClients: k.clients,
+		KernelUtil:    float64(k.kernelQ) / 256,
+		MemUtil:       float64(k.memQ) / 256,
+		MemUsedMB:     float64(k.memMB16) * 16,
+		TempC:         float64(k.tempQ) / 4,
+	}
+	return k, center
+}
+
+// slowdownMemoCap bounds the cache; when full it is dropped wholesale
+// rather than evicted piecemeal — entries are cheap to recompute and a city
+// simulation's working set is far smaller than the cap.
+const slowdownMemoCap = 1 << 14
+
+// slowdownMemo caches slowdown predictions per quantized GPU state. Safe
+// for concurrent use; the parallel sweep engine shares estimators across
+// runs.
+type slowdownMemo struct {
+	mu sync.RWMutex
+	m  map[slowdownKey]float64
+}
+
+func (c *slowdownMemo) lookup(e *ServerEstimator, st gpusim.Stats) float64 {
+	k, center := quantizeStats(st)
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = e.slowdownAt(center)
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= slowdownMemoCap {
+		c.m = make(map[slowdownKey]float64, 256)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}

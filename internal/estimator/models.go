@@ -54,9 +54,11 @@ func (m *RFWithLoad) Train(samples []gpusim.Sample) error {
 	return nil
 }
 
-// Predict implements TimeModel.
+// Predict implements TimeModel. The feature vector lives in a fixed-size
+// stack buffer, so prediction does not allocate.
 func (m *RFWithLoad) Predict(l *dnn.Layer, st gpusim.Stats) float64 {
-	return math.Max(0, m.forest.Predict(CombinedFeatures(l, st)))
+	var buf [numLayerFeatures + numLoadFeatures]float64
+	return math.Max(0, m.forest.Predict(CombinedFeaturesInto(buf[:], l, st)))
 }
 
 // Importance returns the trained forest's normalized feature importances,
@@ -175,6 +177,9 @@ func (m *LLWithLoad) Predict(l *dnn.Layer, st gpusim.Stats) float64 {
 type ServerEstimator struct {
 	dev    profile.Device
 	forest *Forest
+	// memo caches slowdown predictions on quantized GPU-state buckets; nil
+	// disables caching (EstimateSlowdown then predicts on the raw stats).
+	memo *slowdownMemo
 }
 
 // TrainServerEstimator profiles a simulated GPU with the given device and
@@ -203,13 +208,33 @@ func TrainServerEstimator(dev profile.Device, params gpusim.Params, seed int64) 
 	if err != nil {
 		return nil, fmt.Errorf("estimator: training server estimator: %w", err)
 	}
-	return &ServerEstimator{dev: dev, forest: f}, nil
+	return &ServerEstimator{dev: dev, forest: f, memo: &slowdownMemo{}}, nil
 }
 
 // EstimateSlowdown predicts the multiplicative slowdown at the given GPU
 // state. The result is clamped to >= 1: contention never speeds a GPU up.
+//
+// Predictions are memoized on quantized GPU-state buckets (client count
+// exact; utilizations in 1/256 steps; memory in 16 MiB steps; temperature
+// in 0.25 degC steps — well below the forest's resolution) and the forest
+// is evaluated at the bucket's canonical state, so the cached value is a
+// pure function of the bucket: results do not depend on call order or on
+// cache hits versus misses. The master calls this for every (client,
+// server) pair on every planning tick against slowly-drifting stats, so
+// the hit rate is high.
 func (e *ServerEstimator) EstimateSlowdown(st gpusim.Stats) float64 {
-	s := e.forest.Predict(LoadFeatures(st))
+	if e.memo == nil {
+		return e.slowdownAt(st)
+	}
+	return e.memo.lookup(e, st)
+}
+
+// slowdownAt runs the forest on the given stats without consulting the
+// memo. The feature vector lives in a stack buffer, so it does not
+// allocate.
+func (e *ServerEstimator) slowdownAt(st gpusim.Stats) float64 {
+	var buf [numLoadFeatures]float64
+	s := e.forest.Predict(LoadFeaturesInto(buf[:], st))
 	if s < 1 {
 		return 1
 	}

@@ -30,20 +30,29 @@ type nodeJSON struct {
 	Value     float64 `json:"v"`
 }
 
-// WriteJSON serializes the trained forest.
+// WriteJSON serializes the trained forest. The wire format predates the
+// flat node arena and stores tree-local child indices, so global arena
+// indices are rebased per tree on the way out — files written by any
+// version load in any version.
 func (f *Forest) WriteJSON(w io.Writer) error {
 	out := forestJSON{
 		NFeatures:  f.nFeatures,
 		Importance: f.importance,
 		OOBMAE:     f.oobMAE,
-		Trees:      make([][]nodeJSON, 0, len(f.trees)),
+		Trees:      make([][]nodeJSON, 0, f.NumTrees()),
 	}
-	for _, t := range f.trees {
-		nodes := make([]nodeJSON, 0, len(t.nodes))
-		for _, n := range t.nodes {
+	for t := 0; t < f.NumTrees(); t++ {
+		start, end := f.bounds[t], f.bounds[t+1]
+		nodes := make([]nodeJSON, 0, end-start)
+		for g := start; g < end; g++ {
+			l, r := f.left[g], f.right[g]
+			if l >= 0 {
+				l -= start
+				r -= start
+			}
 			nodes = append(nodes, nodeJSON{
-				Feature: n.feature, Threshold: n.threshold,
-				Left: n.left, Right: n.right, Value: n.value,
+				Feature: int(f.feature[g]), Threshold: f.threshold[g],
+				Left: l, Right: r, Value: f.value[g],
 			})
 		}
 		out.Trees = append(out.Trees, nodes)
@@ -67,14 +76,28 @@ func ReadForestJSON(r io.Reader) (*Forest, error) {
 		nFeatures:  in.NFeatures,
 		importance: in.Importance,
 		oobMAE:     in.OOBMAE,
-		trees:      make([]*regTree, 0, len(in.Trees)),
 	}
 	if len(f.importance) != in.NFeatures {
 		return nil, fmt.Errorf("estimator: importance length %d != features %d", len(f.importance), in.NFeatures)
 	}
+	total := 0
+	for _, nodes := range in.Trees {
+		total += len(nodes)
+	}
+	f.feature = make([]int32, 0, total)
+	f.threshold = make([]float64, 0, total)
+	f.left = make([]int32, 0, total)
+	f.right = make([]int32, 0, total)
+	f.value = make([]float64, 0, total)
+	f.bounds = make([]int32, 0, len(in.Trees)+1)
 	for ti, nodes := range in.Trees {
-		t := &regTree{nodes: make([]treeNode, 0, len(nodes))}
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("estimator: tree %d is empty", ti)
+		}
+		start := int32(len(f.value))
+		f.bounds = append(f.bounds, start)
 		for ni, n := range nodes {
+			l, r := n.Left, n.Right
 			if n.Left >= 0 {
 				// Internal node: children must be in range and forward.
 				if int(n.Left) >= len(nodes) || int(n.Right) >= len(nodes) ||
@@ -84,17 +107,17 @@ func ReadForestJSON(r io.Reader) (*Forest, error) {
 				if n.Feature < 0 || n.Feature >= in.NFeatures {
 					return nil, fmt.Errorf("estimator: tree %d node %d has bad feature %d", ti, ni, n.Feature)
 				}
+				l += start
+				r += start
 			}
-			t.nodes = append(t.nodes, treeNode{
-				feature: n.Feature, threshold: n.Threshold,
-				left: n.Left, right: n.Right, value: n.Value,
-			})
+			f.feature = append(f.feature, int32(n.Feature))
+			f.threshold = append(f.threshold, n.Threshold)
+			f.left = append(f.left, l)
+			f.right = append(f.right, r)
+			f.value = append(f.value, n.Value)
 		}
-		if len(t.nodes) == 0 {
-			return nil, fmt.Errorf("estimator: tree %d is empty", ti)
-		}
-		f.trees = append(f.trees, t)
 	}
+	f.bounds = append(f.bounds, int32(len(f.value)))
 	return f, nil
 }
 
@@ -130,5 +153,5 @@ func ReadServerEstimatorJSON(r io.Reader) (*ServerEstimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ServerEstimator{dev: in.Device, forest: f}, nil
+	return &ServerEstimator{dev: in.Device, forest: f, memo: &slowdownMemo{}}, nil
 }

@@ -52,13 +52,13 @@ func Decompose(prof *profile.ModelProfile, loc []Location) Split {
 		sp.Intensity /= intensityWeight
 	}
 
+	topo := m.Topo()
 	if loc[0] == AtServer {
-		sp.UpBytes += m.Layers[0].InputBytes()
+		sp.UpBytes += topo.InBytes
 	}
-	succ := m.Successors()
 	for i := range m.Layers {
 		var toServer, toClient bool
-		for _, s := range succ[i] {
+		for _, s := range topo.Succ[i] {
 			if loc[s] != loc[i] {
 				if loc[s] == AtServer {
 					toServer = true
@@ -68,15 +68,15 @@ func Decompose(prof *profile.ModelProfile, loc []Location) Split {
 			}
 		}
 		if toServer {
-			sp.UpBytes += m.Layers[i].OutputBytes()
+			sp.UpBytes += topo.OutBytes[i]
 		}
 		if toClient {
-			sp.DownBytes += m.Layers[i].OutputBytes()
+			sp.DownBytes += topo.OutBytes[i]
 		}
 	}
 	last := int(m.OutputLayer())
 	if loc[last] == AtServer {
-		sp.DownBytes += m.Layers[last].OutputBytes()
+		sp.DownBytes += topo.OutBytes[last]
 	}
 	return sp
 }

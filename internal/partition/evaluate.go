@@ -35,17 +35,18 @@ func Evaluate(req Request, loc []Location) (time.Duration, error) {
 		}
 	}
 
+	topo := m.Topo()
+
 	// Model input: produced at the client, consumed by layer 0.
 	if loc[0] == AtServer {
-		total += req.Link.UpTime(m.Layers[0].InputBytes())
+		total += req.Link.UpTime(topo.InBytes)
 	}
 
 	// Intermediate tensors: each layer's output crosses at most once per
 	// direction, regardless of how many consumers it has there.
-	succ := m.Successors()
 	for i := range m.Layers {
 		var toServer, toClient bool
-		for _, s := range succ[i] {
+		for _, s := range topo.Succ[i] {
 			if loc[s] != loc[i] {
 				if loc[s] == AtServer {
 					toServer = true
@@ -55,17 +56,17 @@ func Evaluate(req Request, loc []Location) (time.Duration, error) {
 			}
 		}
 		if toServer {
-			total += req.Link.UpTime(m.Layers[i].OutputBytes())
+			total += req.Link.UpTime(topo.OutBytes[i])
 		}
 		if toClient {
-			total += req.Link.DownTime(m.Layers[i].OutputBytes())
+			total += req.Link.DownTime(topo.OutBytes[i])
 		}
 	}
 
 	// Final output must reach the client.
 	last := int(m.OutputLayer())
 	if loc[last] == AtServer {
-		total += req.Link.DownTime(m.Layers[last].OutputBytes())
+		total += req.Link.DownTime(topo.OutBytes[last])
 	}
 	return total, nil
 }

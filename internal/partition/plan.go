@@ -100,6 +100,14 @@ type Plan struct {
 	Link Link
 }
 
+// Clone returns a deep copy of the plan whose Loc slice is independently
+// owned (the Model pointer is shared; models are immutable).
+func (p *Plan) Clone() *Plan {
+	out := *p
+	out.Loc = append([]Location(nil), p.Loc...)
+	return &out
+}
+
 // ServerLayers returns the IDs of server-side layers in topological order.
 func (p *Plan) ServerLayers() []dnn.LayerID {
 	out := make([]dnn.LayerID, 0, len(p.Loc))

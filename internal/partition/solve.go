@@ -1,152 +1,34 @@
 package partition
 
-import (
-	"errors"
-	"fmt"
-	"math"
-	"time"
-
-	"perdnn/internal/dnn"
-)
-
 // Partition computes the minimum-latency partitioning plan for one client /
-// server pair using the graph-based algorithm of Fig 5: the model is
-// unrolled into a DAG of (position, side) nodes where advancing along a
-// side costs that side's layer execution time and switching sides costs the
-// transfer of every tensor crossing the frontier at that position; the
-// cheapest source-to-sink path is the optimal plan.
-//
-// For chain models this is exactly IONN's shortest-path construction. For
-// branchy models (ResNet, Inception) the frontier is taken along the
-// topological order, which restricts side switches to positions where the
-// crossing tensor set is explicit — the same monotone-frontier treatment
-// IONN applies, and exact for every plan whose server segment set is
-// contiguous in topological order.
+// server pair using the graph-based algorithm of Fig 5 (see
+// Solver.Partition for the algorithm). It is a convenience wrapper around a
+// pooled Solver: the returned plan owns its memory. Hot callers that plan
+// repeatedly should hold their own Solver instead.
 func Partition(req Request) (*Plan, error) {
-	if req.Profile == nil || req.Profile.Model == nil {
-		return nil, errors.New("partition: request has no profile")
-	}
-	if req.Slowdown < 1 {
-		return nil, fmt.Errorf("partition: slowdown %v < 1", req.Slowdown)
-	}
-	if req.Link.UpBps <= 0 || req.Link.DownBps <= 0 {
-		return nil, fmt.Errorf("partition: non-positive bandwidth %+v", req.Link)
-	}
-	m := req.Profile.Model
-	n := m.NumLayers()
-
-	crossUp, crossDown := frontierCosts(m, req.Link)
-
-	const (
-		client = 0
-		server = 1
-	)
-	// dist[side] is the best cost to reach the frontier at position p on
-	// side. choice tracks the argmin for backtracking: for each position
-	// and side, whether we switched sides at p before executing layer p.
-	dist := [2]float64{0, math.Inf(1)}
-	type step struct {
-		execSide   [2]int8 // predecessor side (after switch) per side
-		switchedAt [2]bool
-	}
-	steps := make([]step, n+1)
-
-	for p := 0; p <= n; p++ {
-		// Side switches at position p.
-		var st step
-		st.execSide = [2]int8{client, server}
-		if viaServer := dist[server] + crossDown[p].Seconds(); viaServer < dist[client] {
-			dist[client] = viaServer
-			st.switchedAt[client] = true
-		}
-		if viaClient := dist[client] + crossUp[p].Seconds(); viaClient < dist[server] {
-			// Note: uses the already-updated dist[client]; a double
-			// switch (S->C->S) at one position is never cheaper than
-			// staying, so this cannot create a spurious path.
-			dist[server] = viaClient
-			st.switchedAt[server] = true
-		}
-		steps[p] = st
-		if p == n {
-			break
-		}
-		// Execute layer p on each side.
-		dist[client] += req.Profile.ClientTime[p].Seconds()
-		dist[server] += req.serverTime(p).Seconds()
-	}
-
-	// The answer must end at the client (crossDown[n] covers returning the
-	// final output, folded into the position-n switch above).
-	loc := make([]Location, n)
-	side := int8(client)
-	if steps[n].switchedAt[client] {
-		side = server
-	}
-	for p := n - 1; p >= 0; p-- {
-		if side == client {
-			loc[p] = AtClient
-		} else {
-			loc[p] = AtServer
-		}
-		if steps[p].switchedAt[side] {
-			side = 1 - side
-		}
-	}
-
-	lat, err := Evaluate(req, loc)
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	p, err := s.Partition(req)
 	if err != nil {
-		return nil, fmt.Errorf("partition: evaluating solution: %w", err)
+		return nil, err
 	}
-	return &Plan{
-		Model:      m,
-		Loc:        loc,
-		EstLatency: lat,
-		Slowdown:   req.Slowdown,
-		Link:       req.Link,
-	}, nil
+	return p.Clone(), nil
 }
 
-// frontierCosts returns, for every frontier position p in 0..n, the cost of
-// switching execution from client to server (crossUp) or server to client
-// (crossDown) at p: the transfer time of every tensor produced before p and
-// consumed at or after p. Position n additionally accounts for returning
-// the final output to the client in crossDown[n] (and makes crossUp[n]
-// unreachable: execution may not end on the server).
-func frontierCosts(m *dnn.Model, link Link) (crossUp, crossDown []time.Duration) {
-	n := m.NumLayers()
-	crossUp = make([]time.Duration, n+1)
-	crossDown = make([]time.Duration, n+1)
-
-	// Crossing bytes at p: model input if p == 0 (layer 0 not yet run),
-	// else outputs of layers i < p with any consumer >= p.
-	succ := m.Successors()
-	lastUse := make([]int, n)
-	for i := range m.Layers {
-		lastUse[i] = i // output of the final layer "used" at its position
-		for _, s := range succ[i] {
-			if int(s) > lastUse[i] {
-				lastUse[i] = int(s)
-			}
-		}
+// PlanAndSchedule computes the minimum-latency plan and its
+// efficiency-first upload schedule in one pass over a single pooled solver.
+// The returned plan and schedule own their memory.
+func PlanAndSchedule(req Request) (*Plan, []UploadUnit, error) {
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	p, err := s.Partition(req)
+	if err != nil {
+		return nil, nil, err
 	}
-	for p := 0; p <= n; p++ {
-		var bytes int64
-		if p == 0 {
-			bytes = m.Layers[0].InputBytes()
-		} else {
-			for i := 0; i < p; i++ {
-				if lastUse[i] >= p {
-					bytes += m.Layers[i].OutputBytes()
-				}
-			}
-		}
-		crossUp[p] = link.UpTime(bytes)
-		crossDown[p] = link.DownTime(bytes)
+	p = p.Clone()
+	sched, err := s.UploadSchedule(req, p)
+	if err != nil {
+		return nil, nil, err
 	}
-	// Ending at position n on the server means the final output still has
-	// to come down; folding it here lets the DP simply terminate at the
-	// client side of position n.
-	crossDown[n] = link.DownTime(m.Layers[n-1].OutputBytes())
-	crossUp[n] = time.Duration(math.MaxInt64 / 4)
-	return crossUp, crossDown
+	return p, sched, nil
 }

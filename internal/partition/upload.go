@@ -1,9 +1,6 @@
 package partition
 
 import (
-	"fmt"
-	"time"
-
 	"perdnn/internal/dnn"
 )
 
@@ -21,119 +18,13 @@ type UploadUnit struct {
 }
 
 // UploadSchedule orders the plan's server-side layers for transmission
-// using the efficiency-first strategy of Section III.C.2: among all
-// contiguous runs of not-yet-uploaded server-side layers, repeatedly pick
-// the one with the highest latency-reduction-per-byte, until everything is
-// scheduled. The same schedule orders client uploads and server-to-server
-// proactive migration.
+// using the efficiency-first strategy of Section III.C.2 (see
+// Solver.UploadSchedule). It is a convenience wrapper around a pooled
+// Solver; hot callers that schedule repeatedly should hold their own.
 func UploadSchedule(req Request, plan *Plan) ([]UploadUnit, error) {
-	m := plan.Model
-	serverSide := plan.ServerLayers()
-	if len(serverSide) == 0 {
-		return nil, nil
-	}
-
-	uploaded := make(map[dnn.LayerID]bool, len(serverSide))
-	remaining := make(map[dnn.LayerID]bool, len(serverSide))
-	for _, id := range serverSide {
-		remaining[id] = true
-	}
-
-	baseLat, err := Evaluate(req, WithOffloaded(m, uploaded))
-	if err != nil {
-		return nil, fmt.Errorf("partition: upload schedule: %w", err)
-	}
-
-	units := make([]UploadUnit, 0, 4)
-	for len(remaining) > 0 {
-		best, bestLat, err := bestRun(req, m, uploaded, remaining, baseLat)
-		if err != nil {
-			return nil, err
-		}
-		units = append(units, best)
-		for _, id := range best.Layers {
-			uploaded[id] = true
-			delete(remaining, id)
-		}
-		baseLat = bestLat
-	}
-	return units, nil
-}
-
-// bestRun evaluates every contiguous run of remaining server-side layers
-// and returns the one with the highest latency reduction per byte, along
-// with the latency after uploading it.
-func bestRun(req Request, m *dnn.Model, uploaded, remaining map[dnn.LayerID]bool, baseLat time.Duration) (UploadUnit, time.Duration, error) {
-	// Maximal blocks of remaining layers, contiguous in topological order.
-	ids := make([]dnn.LayerID, 0, len(remaining))
-	for i := 0; i < m.NumLayers(); i++ {
-		if remaining[dnn.LayerID(i)] {
-			ids = append(ids, dnn.LayerID(i))
-		}
-	}
-	blocks := make([][]dnn.LayerID, 0, 4)
-	start := 0
-	for i := 1; i <= len(ids); i++ {
-		if i == len(ids) || ids[i] != ids[i-1]+1 {
-			blocks = append(blocks, ids[start:i])
-			start = i
-		}
-	}
-
-	var (
-		best     UploadUnit
-		bestLat  time.Duration
-		bestEff  = -1.0
-		haveBest bool
-	)
-	trial := make(map[dnn.LayerID]bool, len(uploaded)+len(ids))
-	for _, block := range blocks {
-		// All contiguous runs within the block. For very long blocks the
-		// candidate endpoints are subsampled on a stride grid, bounding
-		// the search to ~32x32 runs per block with negligible effect on
-		// the schedule (neighbouring endpoints have near-identical
-		// efficiency).
-		stride := (len(block) + 31) / 32
-		for a := 0; a < len(block); a += stride {
-			for b := a; b < len(block); b += stride {
-				end := b + stride - 1
-				if end >= len(block) {
-					end = len(block) - 1
-				}
-				run := block[a : end+1]
-				var bytes int64
-				for id := range trial {
-					delete(trial, id)
-				}
-				for id := range uploaded {
-					trial[id] = true
-				}
-				for _, id := range run {
-					trial[id] = true
-					bytes += m.Layers[id].WeightBytes
-				}
-				lat, err := Evaluate(req, WithOffloaded(m, trial))
-				if err != nil {
-					return UploadUnit{}, 0, fmt.Errorf("partition: evaluating run: %w", err)
-				}
-				mb := float64(bytes)/(1<<20) + 1e-9
-				eff := (baseLat - lat).Seconds() / mb
-				// Normalize by size: prefer small high-benefit runs. Ties
-				// and negative benefits fall through to the largest-gain
-				// run so progress is always made.
-				if eff > bestEff {
-					bestEff = eff
-					bestLat = lat
-					best = UploadUnit{Layers: append([]dnn.LayerID(nil), run...), Bytes: bytes, Efficiency: eff}
-					haveBest = true
-				}
-			}
-		}
-	}
-	if !haveBest {
-		return UploadUnit{}, 0, fmt.Errorf("partition: no uploadable run among %d layers", len(remaining))
-	}
-	return best, bestLat, nil
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	return s.UploadSchedule(req, plan)
 }
 
 // SequentialSchedule returns the naive front-to-back upload order: the

@@ -1,0 +1,6 @@
+// Package raceguard reports whether the binary was built with the race
+// detector. Allocation-gate tests consult it: the detector's
+// instrumentation adds heap allocations of its own, so testing.AllocsPerRun
+// assertions only hold in non-race builds and must be skipped (not relaxed)
+// under -race.
+package raceguard
