@@ -20,8 +20,9 @@ import (
 // The -benchjson mode measures the planning/simulation hot paths with
 // testing.Benchmark and writes the results as JSON, pairing each optimized
 // path with its pre-optimization reference implementation so speedups are
-// measured inside one binary under identical conditions. BENCH_PR5.json in
-// the repo root is a checked-in run of this mode.
+// measured inside one binary under identical conditions. The BENCH_PR*.json
+// files in the repo root are checked-in runs of this mode (BENCH_PR6.json
+// added the wire-protocol and upload-throughput sections).
 
 // benchEntry is one measured benchmark.
 type benchEntry struct {
@@ -44,6 +45,12 @@ type benchReport struct {
 	CityQueries       int     `json:"cityQueries"`
 	CityWallSeconds   float64 `json:"cityWallSeconds"`
 	CityQueriesPerSec float64 `json:"cityQueriesPerSec"`
+	// Upload throughput over a simulated 8 ms-RTT link: wall time for a
+	// full model upload, lockstep (one round trip per schedule unit)
+	// versus the windowed stream.
+	UploadUnits           int     `json:"uploadUnits"`
+	UploadLockstepSeconds float64 `json:"uploadLockstepSeconds"`
+	UploadWindowedSeconds float64 `json:"uploadWindowedSeconds"`
 }
 
 // measure runs fn under testing.Benchmark and records it.
@@ -163,6 +170,12 @@ func runBenchJSON(path string, quick bool) error {
 		})
 	}
 
+	if err := benchWire(rep); err != nil {
+		return err
+	}
+	if err := benchUploadThroughput(rep); err != nil {
+		return err
+	}
 	if err := benchCitySim(rep, quick); err != nil {
 		return err
 	}

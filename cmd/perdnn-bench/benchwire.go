@@ -1,0 +1,306 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/edged"
+	"perdnn/internal/geo"
+	"perdnn/internal/master"
+	"perdnn/internal/mobile"
+	"perdnn/internal/obs"
+	"perdnn/internal/wire"
+)
+
+// quietLog discards daemon log output during benchmarks.
+func quietLog() *slog.Logger { return obs.NewLogger(io.Discard, slog.LevelError+1, "bench") }
+
+// echoServer answers every envelope with itself over the given codec.
+func echoServer(newConn func(net.Conn) interface {
+	Recv() (*wire.Envelope, error)
+	Send(*wire.Envelope) error
+}) (addr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn := newConn(c)
+				for {
+					e, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if err := conn.Send(e); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close() }, nil
+}
+
+// benchWire measures one request/response exchange over loopback TCP with
+// the v2 binary framing against the pre-v2 gob reference codec in the same
+// binary.
+func benchWire(rep *benchReport) error {
+	req := &wire.Envelope{Type: wire.MsgExecRequest, ExecReq: &wire.ExecReq{
+		ClientID: 1, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}
+
+	binAddr, stopBin, err := echoServer(func(c net.Conn) interface {
+		Recv() (*wire.Envelope, error)
+		Send(*wire.Envelope) error
+	} {
+		return wire.NewConn(c)
+	})
+	if err != nil {
+		return err
+	}
+	defer stopBin()
+	conn, err := wire.DialContext(context.Background(), binAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close() //nolint:errcheck // bench teardown
+	ctx := context.Background()
+	if _, err := conn.RoundTripContext(ctx, req); err != nil {
+		return err
+	}
+	opt := rep.measure("wire-roundtrip/binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := conn.RoundTripContext(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	gobAddr, stopGob, err := echoServer(func(c net.Conn) interface {
+		Recv() (*wire.Envelope, error)
+		Send(*wire.Envelope) error
+	} {
+		return wire.NewReferenceGobConn(c)
+	})
+	if err != nil {
+		return err
+	}
+	defer stopGob()
+	raw, err := net.Dial("tcp", gobAddr)
+	if err != nil {
+		return err
+	}
+	gc := wire.NewReferenceGobConn(raw)
+	defer gc.Close() //nolint:errcheck // bench teardown
+	if _, err := gc.RoundTrip(req); err != nil {
+		return err
+	}
+	ref := rep.measure("wire-roundtrip/gob-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gc.RoundTrip(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Speedups["wire-roundtrip"] = ref.NsPerOp / opt.NsPerOp
+	return nil
+}
+
+// latencyProxy forwards TCP bytes with a fixed one-way delay in each
+// direction while preserving pipelining (chunks are timestamped on read
+// and released delay later, not serialized behind each other) — a pure
+// high-bandwidth-delay-product link. It makes upload strategy visible in
+// wall time: lockstep pays one RTT per schedule unit, a windowed stream
+// pays ~one RTT total.
+type latencyProxy struct {
+	ln    net.Listener
+	delay time.Duration
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newLatencyProxy(backend string, delay time.Duration) (*latencyProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &latencyProxy{ln: ln, delay: delay}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b, err := net.Dial("tcp", backend)
+			if err != nil {
+				_ = c.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, c, b)
+			p.mu.Unlock()
+			go p.pipe(b, c)
+			go p.pipe(c, b)
+		}
+	}()
+	return p, nil
+}
+
+func (p *latencyProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *latencyProxy) Close() {
+	_ = p.ln.Close()
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+type delayedChunk struct {
+	due  time.Time
+	data []byte
+}
+
+// pipe reads src as fast as it will deliver and releases each chunk to
+// dst one delay later, so concurrent in-flight chunks overlap like they
+// would on a long fat pipe.
+func (p *latencyProxy) pipe(dst, src net.Conn) {
+	ch := make(chan delayedChunk, 4096)
+	go func() {
+		for c := range ch {
+			time.Sleep(time.Until(c.due))
+			if _, err := dst.Write(c.data); err != nil {
+				break
+			}
+		}
+		_ = dst.Close()
+	}()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			ch <- delayedChunk{due: time.Now().Add(p.delay), data: data}
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(ch)
+}
+
+// benchUploadThroughput wall-clocks a full model upload over a simulated
+// high-latency link twice — lockstep UploadStep (one RTT per unit) versus
+// the windowed UploadAll stream — and records the speedup.
+func benchUploadThroughput(rep *benchReport) error {
+	const oneWay = 4 * time.Millisecond // 8 ms RTT
+
+	// One edge daemon plus a master, both with simulated work disabled, so
+	// wall time isolates protocol round trips.
+	ecfg := edged.DefaultConfig(dnn.ModelInception)
+	ecfg.TimeScale = 0
+	ecfg.Logger = quietLog()
+	esrv, err := edged.New(ecfg)
+	if err != nil {
+		return err
+	}
+	eln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go esrv.Serve(eln) //nolint:errcheck // bench teardown via Close
+	defer esrv.Close() //nolint:errcheck // bench teardown
+
+	grid := geo.NewHexGrid(50)
+	loc := grid.Center(geo.HexCell{Q: 0, R: 0})
+	mcfg := master.DefaultConfig([]master.EdgeInfo{{Addr: eln.Addr().String(), Location: loc}})
+	mcfg.Logger = quietLog()
+	m, err := master.New(mcfg)
+	if err != nil {
+		return err
+	}
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go m.Serve(mln) //nolint:errcheck // bench teardown via Close
+	defer m.Close() //nolint:errcheck // bench teardown
+
+	proxy, err := newLatencyProxy(eln.Addr().String(), oneWay)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	server := m.Placement().ServerAt(loc)
+
+	// run connects a fresh client ID (its own empty edge cache) and times
+	// its upload strategy.
+	run := func(id int, upload func(c *mobile.Client) (int, error)) (int, time.Duration, error) {
+		client, err := mobile.DialContext(context.Background(), mobile.Config{
+			ID:         id,
+			Model:      dnn.ModelInception,
+			MasterAddr: mln.Addr().String(),
+			Logger:     quietLog(),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer client.Close() //nolint:errcheck // bench teardown
+		if err := client.ConnectContext(context.Background(), server, proxy.Addr()); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		units, err := upload(client)
+		return units, time.Since(start), err
+	}
+
+	lockUnits, lockWall, err := run(101, func(c *mobile.Client) (int, error) {
+		units := 0
+		for {
+			more, err := c.UploadStepContext(context.Background())
+			if err != nil || !more {
+				return units, err
+			}
+			units++
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("lockstep upload: %w", err)
+	}
+	winUnits, winWall, err := run(102, func(c *mobile.Client) (int, error) {
+		return c.UploadAllContext(context.Background())
+	})
+	if err != nil {
+		return fmt.Errorf("windowed upload: %w", err)
+	}
+	if lockUnits != winUnits {
+		return fmt.Errorf("strategy unit counts differ: lockstep %d, windowed %d", lockUnits, winUnits)
+	}
+
+	rep.UploadUnits = winUnits
+	rep.UploadLockstepSeconds = lockWall.Seconds()
+	rep.UploadWindowedSeconds = winWall.Seconds()
+	rep.Speedups["upload-throughput"] = lockWall.Seconds() / winWall.Seconds()
+	fmt.Printf("  %-36s lockstep %.3fs vs windowed %.3fs over %d units (8 ms RTT)\n",
+		"upload-throughput", lockWall.Seconds(), winWall.Seconds(), winUnits)
+	return nil
+}

@@ -48,6 +48,8 @@ func run() error {
 	timescale := flag.Float64("timescale", 0.01, "wall-time scale for simulated work")
 	retries := flag.Int("retries", 0, "max attempts per network operation (0 = default policy)")
 	retryBase := flag.Duration("retry-base", 0, "base backoff delay (0 = default policy)")
+	window := flag.Int("window", mobile.DefaultUploadWindow,
+		"streaming upload window (units in flight); 0 interleaves lockstep upload steps with queries")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -62,11 +64,12 @@ func run() error {
 	}
 
 	client, err := mobile.DialContext(ctx, mobile.Config{
-		ID:         *id,
-		Model:      dnn.ModelName(*model),
-		MasterAddr: *masterAddr,
-		TimeScale:  *timescale,
-		Retry:      &retry,
+		ID:           *id,
+		Model:        dnn.ModelName(*model),
+		MasterAddr:   *masterAddr,
+		TimeScale:    *timescale,
+		Retry:        &retry,
+		UploadWindow: *window,
 	})
 	if err != nil {
 		return err
@@ -91,13 +94,30 @@ func run() error {
 	fmt.Printf("connected to server %d: %d/%d plan layers cached (%s)\n",
 		*server, present, total, state)
 
+	if *window > 0 {
+		// Stream the whole upload up front with windowed acks — the
+		// fast path. An unreachable edge is not fatal: queries below
+		// degrade to local execution while the edge is away.
+		start := time.Now()
+		units, err := client.UploadAllContext(ctx)
+		if err != nil && !errors.Is(err, core.ErrServerDown) {
+			return err
+		}
+		present, total = client.CacheState()
+		fmt.Printf("streamed %d upload units (window %d) in %v: %d/%d layers at edge\n",
+			units, *window, time.Since(start).Round(time.Millisecond), present, total)
+	}
+
 	fallbacks := 0
 	for q := 0; q < *queries; q++ {
-		// Interleave upload steps with queries, as the live runtime does.
-		// An unreachable edge is not fatal here: the query below degrades
-		// to local execution and the next step retries the upload.
-		if _, err := client.UploadStepContext(ctx); err != nil && !errors.Is(err, core.ErrServerDown) {
-			return err
+		// With -window 0, interleave lockstep upload steps with queries,
+		// as the pre-streaming runtime did. An unreachable edge is not
+		// fatal here either: the query below degrades to local execution
+		// and the next step retries the upload.
+		if *window <= 0 {
+			if _, err := client.UploadStepContext(ctx); err != nil && !errors.Is(err, core.ErrServerDown) {
+				return err
+			}
 		}
 		lat, err := client.QueryContext(ctx)
 		note := ""

@@ -61,6 +61,7 @@ type Server struct {
 	start time.Time
 	log   *slog.Logger
 	met   *obs.Registry
+	peers *wire.Pool // reused conns for migration pushes to peer edges
 
 	mu    sync.Mutex
 	cache map[int]*cacheEntry // by client ID
@@ -96,6 +97,7 @@ func New(cfg Config) (*Server, error) {
 		start:  time.Now(),
 		log:    logger,
 		met:    obs.NewRegistry(),
+		peers:  wire.NewPool(),
 		cache:  make(map[int]*cacheEntry, 8),
 		closed: make(chan struct{}),
 	}, nil
@@ -165,6 +167,9 @@ func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		if perr := s.peers.Close(); perr != nil {
+			s.log.Warn("closing peer pool", "err", perr)
+		}
 		s.mu.Lock()
 		ln := s.ln
 		s.mu.Unlock()
@@ -212,6 +217,21 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 			return ack(errors.New("edged: upload without body"))
 		}
 		return ack(s.upload(req.Upload))
+	case wire.MsgUploadUnit:
+		// Streaming upload: same storage path as MsgUploadLayers, but the
+		// ack echoes the unit's sequence number so the client can run a
+		// windowed pipeline (acks are cumulative — units are processed in
+		// arrival order, so acking seq N confirms everything through N).
+		if req.Upload == nil {
+			return &wire.Envelope{Type: wire.MsgUploadAck,
+				Ack: &wire.Ack{OK: false, Error: "edged: upload without body"}}
+		}
+		seq := req.Upload.Seq
+		if err := s.upload(req.Upload); err != nil {
+			return &wire.Envelope{Type: wire.MsgUploadAck,
+				Ack: &wire.Ack{OK: false, Error: err.Error(), Seq: seq}}
+		}
+		return &wire.Envelope{Type: wire.MsgUploadAck, Ack: &wire.Ack{OK: true, Seq: seq}}
 	case wire.MsgExecRequest:
 		if req.ExecReq == nil {
 			return ack(errors.New("edged: exec without body"))
@@ -232,17 +252,28 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 	}
 }
 
-// upload stores declared layers, realizing the transfer time.
+// upload stores declared layers, realizing the transfer time. Pricing is
+// idempotent at the layer level: layers already cached cost nothing, so a
+// client that resends a unit whose delivery it could not confirm (a
+// connection killed between delivery and ack) is not double-charged —
+// the cache claim under the lock is the exactly-once point, even when an
+// old connection's handler is still draining buffered units concurrently
+// with a resend on a fresh one.
 func (s *Server) upload(u *wire.Upload) error {
+	added := s.addLayers(u.ClientID, u.Layers)
+	if len(added) == 0 {
+		s.log.Debug("layers already cached", "client", u.ClientID, "layers", len(u.Layers))
+		return nil
+	}
 	bytes := u.Bytes
-	if bytes <= 0 {
-		bytes = s.layerBytes(u.Layers)
+	if bytes <= 0 || len(added) != len(u.Layers) {
+		// No declared size, or a partial duplicate: price what was new.
+		bytes = s.layerBytes(added)
 	}
 	s.met.Counter("uploads_total").Inc()
 	s.met.Counter("upload_bytes_total").Add(bytes)
-	s.log.Debug("layers uploaded", "client", u.ClientID, "layers", len(u.Layers), "bytes", bytes)
+	s.log.Debug("layers uploaded", "client", u.ClientID, "layers", len(added), "bytes", bytes)
 	s.sleep(time.Duration(float64(bytes) * 8 / s.cfg.LinkBps * float64(time.Second)))
-	s.addLayers(u.ClientID, u.Layers)
 	return nil
 }
 
@@ -256,7 +287,9 @@ func (s *Server) layerBytes(ids []dnn.LayerID) int64 {
 	return sum
 }
 
-func (s *Server) addLayers(client int, ids []dnn.LayerID) {
+// addLayers claims ids in the client's cache entry and returns the subset
+// that was newly added (not already live in the cache).
+func (s *Server) addLayers(client int, ids []dnn.LayerID) []dnn.LayerID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.cache[client]
@@ -264,10 +297,16 @@ func (s *Server) addLayers(client int, ids []dnn.LayerID) {
 		e = &cacheEntry{layers: make(map[dnn.LayerID]struct{}, len(ids))}
 		s.cache[client] = e
 	}
+	added := make([]dnn.LayerID, 0, len(ids))
 	for _, id := range ids {
+		if _, dup := e.layers[id]; dup {
+			continue
+		}
 		e.layers[id] = struct{}{}
+		added = append(added, id)
 	}
 	e.expiry = time.Now().Add(s.cfg.TTL)
+	return added
 }
 
 // cachedLayers returns the client's live cached layers.
@@ -337,16 +376,9 @@ func (s *Server) migrate(ctx context.Context, m *wire.Migrate) error {
 		"layers", len(send), "bytes", bytes)
 	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
 	defer cancel()
-	peer, err := wire.DialContext(ctx, m.PeerAddr)
-	if err != nil {
-		return fmt.Errorf("edged: migrating to %s: %w: %w", m.PeerAddr, core.ErrServerDown, err)
-	}
-	defer func() {
-		if cerr := peer.Close(); cerr != nil {
-			s.log.Warn("closing peer conn", "err", cerr)
-		}
-	}()
-	resp, err := peer.RoundTripContext(ctx, &wire.Envelope{
+	// Migration pushes to the same few peers recur as clients move; the
+	// pool reuses warm connections instead of dialing per order.
+	resp, err := s.peers.RoundTrip(ctx, m.PeerAddr, &wire.Envelope{
 		Type:   wire.MsgUploadLayers,
 		Upload: &wire.Upload{ClientID: m.ClientID, Layers: send, Bytes: bytes},
 	})

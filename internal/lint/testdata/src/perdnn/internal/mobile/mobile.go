@@ -36,6 +36,28 @@ func Query(c *Client, q string, ctx context.Context) error { // want "context.Co
 	return nil
 }
 
+// UploadAllContext mirrors the streaming-upload entry point: ctx first,
+// cancelable mid-window, no diagnostics.
+func (c *Client) UploadAllContext(ctx context.Context) (int, error) {
+	_ = ctx
+	return 0, nil
+}
+
+// UploadAll is the deprecated lockstep shim shape: minting the root
+// context is allowed only under an explicit vet-ignore directive.
+func (c *Client) UploadAll() (int, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
+	return c.UploadAllContext(context.Background())
+}
+
+// StreamPending puts the window size ahead of the context, breaking the
+// ctx-first convention streaming callers rely on.
+func (c *Client) StreamPending(window int, ctx context.Context) (int, error) { // want "context.Context must be the first parameter"
+	_ = window
+	_ = ctx
+	return 0, nil
+}
+
 func Probe(addr string) (net.Conn, error) {
 	return net.Dial("tcp", addr) // want "dials the network without accepting a context.Context"
 }

@@ -77,6 +77,7 @@ type Master struct {
 	predictor mobility.Predictor
 	log       *slog.Logger
 	met       *obs.Registry
+	edges     *wire.Pool // reused conns for stats pings and migration orders
 
 	mu       sync.Mutex
 	planners map[dnn.ModelName]*core.Planner
@@ -144,6 +145,7 @@ func New(cfg Config) (*Master, error) {
 		predictor: lin,
 		log:       logger,
 		met:       obs.NewRegistry(),
+		edges:     wire.NewPool(),
 		planners:  make(map[dnn.ModelName]*core.Planner, 4),
 		clients:   make(map[int]*clientState, 8),
 		closed:    make(chan struct{}),
@@ -218,6 +220,9 @@ func (m *Master) Close() error {
 	var err error
 	m.closeOnce.Do(func() {
 		close(m.closed)
+		if perr := m.edges.Close(); perr != nil {
+			m.log.Warn("closing edge pool", "err", perr)
+		}
 		m.mu.Lock()
 		ln := m.ln
 		m.mu.Unlock()
@@ -373,16 +378,9 @@ func (m *Master) orderMigration(ctx context.Context, model dnn.ModelName, client
 	}
 	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
 	defer cancel()
-	conn, err := wire.DialContext(ctx, curAddr)
-	if err != nil {
-		return fmt.Errorf("master: edge %s: %w: %w", curAddr, core.ErrServerDown, err)
-	}
-	defer func() {
-		if cerr := conn.Close(); cerr != nil {
-			m.log.Warn("closing edge conn", "err", cerr)
-		}
-	}()
-	resp, err := conn.RoundTripContext(ctx, &wire.Envelope{
+	// Orders target the same few edges every interval; the pool rides a
+	// warm connection instead of dialing per order.
+	resp, err := m.edges.RoundTrip(ctx, curAddr, &wire.Envelope{
 		Type: wire.MsgMigrateRequest,
 		Migrate: &wire.Migrate{
 			ClientID: client,
@@ -404,16 +402,10 @@ func (m *Master) orderMigration(ctx context.Context, model dnn.ModelName, client
 func (m *Master) pingStats(ctx context.Context, addr string) (*gpusim.Stats, error) {
 	ctx, cancel := context.WithTimeout(ctx, wire.DefaultDialTimeout)
 	defer cancel()
-	conn, err := wire.DialContext(ctx, addr)
-	if err != nil {
-		return nil, fmt.Errorf("master: edge %s: %w: %w", addr, core.ErrServerDown, err)
-	}
-	defer func() {
-		if cerr := conn.Close(); cerr != nil {
-			m.log.Warn("closing stats conn", "err", cerr)
-		}
-	}()
-	resp, err := conn.RoundTripContext(ctx, &wire.Envelope{Type: wire.MsgStatsRequest})
+	// Stats polls hit every edge repeatedly; a pooled conn turns each poll
+	// into one round trip instead of dial+round trip. RoundTrip returns a
+	// deep copy, so the sample stays valid after the conn is reused.
+	resp, err := m.edges.RoundTrip(ctx, addr, &wire.Envelope{Type: wire.MsgStatsRequest})
 	if err != nil {
 		return nil, fmt.Errorf("master: edge %s: %w: %w", addr, core.ErrServerDown, err)
 	}

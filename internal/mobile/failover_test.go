@@ -158,7 +158,7 @@ func uploadAll(t *testing.T, client *mobile.Client) {
 // redials, resyncs the edge's surviving cache, and finishes the upload
 // without starting over.
 func TestReconnectAndResumeMidUpload(t *testing.T) {
-	masterAddr, edges, m := liveCluster(t)
+	masterAddr, edges, m, _ := liveCluster(t)
 	proxy := newFlakyProxy(t, edges[0].Addr)
 	client := dialFastClient(t, masterAddr)
 
@@ -212,7 +212,7 @@ func TestReconnectAndResumeMidUpload(t *testing.T) {
 // mid-session: the query must not hang, must retry with backoff, and must
 // return a usable client-local latency wrapped with core.ErrLocalFallback.
 func TestDeadEdgeDegradesToLocalFallback(t *testing.T) {
-	masterAddr, edges, m := liveCluster(t)
+	masterAddr, edges, m, _ := liveCluster(t)
 	proxy := newFlakyProxy(t, edges[0].Addr)
 	client := dialFastClient(t, masterAddr)
 
@@ -258,7 +258,7 @@ func TestDeadEdgeDegradesToLocalFallback(t *testing.T) {
 // instead of burning the fallback path — callers who canceled don't want a
 // degraded answer.
 func TestQueryContextCancelBeatsFallback(t *testing.T) {
-	masterAddr, edges, m := liveCluster(t)
+	masterAddr, edges, m, _ := liveCluster(t)
 	proxy := newFlakyProxy(t, edges[0].Addr)
 	client := dialFastClient(t, masterAddr)
 

@@ -13,14 +13,15 @@ import (
 )
 
 // liveCluster starts two edge daemons in adjacent cells and a master over
-// localhost TCP, returning the master address, the edge infos, and a
-// cleanup function.
-func liveCluster(t *testing.T) (string, []master.EdgeInfo, *master.Master) {
+// localhost TCP, returning the master address, the edge infos, the master,
+// and the edge daemons themselves (for server-side metric assertions).
+func liveCluster(t *testing.T) (string, []master.EdgeInfo, *master.Master, []*edged.Server) {
 	t.Helper()
 	grid := geo.NewHexGrid(50)
 	locs := []geo.Point{grid.Center(geo.HexCell{Q: 0, R: 0}), grid.Center(geo.HexCell{Q: 1, R: 0})}
 
 	edges := make([]master.EdgeInfo, 0, 2)
+	servers := make([]*edged.Server, 0, 2)
 	for i, loc := range locs {
 		cfg := edged.DefaultConfig(dnn.ModelMobileNet)
 		cfg.TimeScale = 0.0005
@@ -44,6 +45,7 @@ func liveCluster(t *testing.T) (string, []master.EdgeInfo, *master.Master) {
 			}
 		})
 		edges = append(edges, master.EdgeInfo{Addr: ln.Addr().String(), Location: loc})
+		servers = append(servers, srv)
 	}
 
 	mcfg := master.DefaultConfig(edges)
@@ -66,7 +68,7 @@ func liveCluster(t *testing.T) (string, []master.EdgeInfo, *master.Master) {
 			t.Logf("closing master: %v", cerr)
 		}
 	})
-	return mln.Addr().String(), edges, m
+	return mln.Addr().String(), edges, m, servers
 }
 
 // TestLiveOffloadingEndToEnd drives the full networked path: register,
@@ -74,7 +76,7 @@ func liveCluster(t *testing.T) (string, []master.EdgeInfo, *master.Master) {
 // that trigger proactive migration to edge B, then a reconnect at B that
 // finds the layers already cached (hit).
 func TestLiveOffloadingEndToEnd(t *testing.T) {
-	masterAddr, edges, m := liveCluster(t)
+	masterAddr, edges, m, _ := liveCluster(t)
 	pl := m.Placement()
 
 	client, err := mobile.Dial(mobile.Config{

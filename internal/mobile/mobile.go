@@ -43,10 +43,20 @@ type Config struct {
 	// Retry drives retries of master registration and edge exchanges; nil
 	// uses core.DefaultRetryPolicy.
 	Retry *core.RetryPolicy
+	// UploadWindow is the number of schedule units UploadAllContext keeps
+	// in flight before waiting for edge acks (<= 0 means
+	// DefaultUploadWindow). Window 1 degenerates to lockstep
+	// send-one-wait-one.
+	UploadWindow int
 	// Logger receives the client's structured log output; nil defaults to
 	// info-level logging on stderr tagged with component=mobile.
 	Logger *slog.Logger
 }
+
+// DefaultUploadWindow is the streaming upload's default in-flight window:
+// deep enough to cover one round trip of ack latency on the lab links
+// without buffering the whole model ahead of the edge's ingest rate.
+const DefaultUploadWindow = 4
 
 // Client is a connected live client.
 type Client struct {
@@ -277,7 +287,9 @@ func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAd
 	}
 	c.server = server
 	c.edgeAddr = edgeAddr
-	c.plan = resp.PlanResp
+	// The response envelope aliases the master conn's receive scratch and
+	// is overwritten by the next exchange; the plan outlives it.
+	c.plan = resp.PlanResp.Clone()
 	c.planReady = true
 	c.uploaded = make(map[dnn.LayerID]bool, c.model.NumLayers())
 
@@ -302,6 +314,18 @@ func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAd
 func (c *Client) Connect(server geo.ServerID, edgeAddr string) error {
 	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.ConnectContext(context.Background(), server, edgeAddr)
+}
+
+// ServerLayers returns a copy of the current plan's server-side layer set
+// (what the edge will execute once uploaded), or nil before a plan is
+// fetched.
+func (c *Client) ServerLayers() []dnn.LayerID {
+	if !c.planReady {
+		return nil
+	}
+	out := make([]dnn.LayerID, len(c.plan.ServerLayers))
+	copy(out, c.plan.ServerLayers)
+	return out
 }
 
 // CacheState reports how many of the plan's server-side layers are already
@@ -363,6 +387,152 @@ func (c *Client) UploadStepContext(ctx context.Context) (bool, error) {
 func (c *Client) UploadStep() (bool, error) {
 	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.UploadStepContext(context.Background())
+}
+
+// uploadUnit is one pending schedule unit: the not-yet-uploaded layers of
+// one entry of the plan's UploadOrder.
+type uploadUnit struct {
+	layers []dnn.LayerID
+	bytes  int64
+}
+
+// pendingUnits lists the schedule units still missing at the edge, in
+// plan order.
+func (c *Client) pendingUnits() []uploadUnit {
+	units := make([]uploadUnit, 0, len(c.plan.UploadOrder))
+	for _, unit := range c.plan.UploadOrder {
+		var u uploadUnit
+		for _, id := range unit {
+			if !c.uploaded[id] {
+				u.layers = append(u.layers, id)
+				u.bytes += c.model.Layer(id).WeightBytes
+			}
+		}
+		if len(u.layers) > 0 {
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
+// permanentError marks a failure that must not be retried: the edge
+// answered, and the answer was a rejection or a protocol violation, not a
+// transport fault.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// streamPending pushes every pending unit over the current edge
+// connection with up to `window` units in flight, consuming cumulative
+// acks as they arrive. It marks units uploaded as their acks land and
+// returns how many completed; on a transport error the caller reconnects,
+// resyncs, and streams whatever is still missing.
+func (c *Client) streamPending(ctx context.Context, window int) (int, error) {
+	units := c.pendingUnits()
+	if len(units) == 0 {
+		return 0, nil
+	}
+	completed := 0
+	next, acked := 0, 0
+	for acked < len(units) {
+		// Fill the window before blocking on an ack: this is the whole
+		// point — ack latency overlaps with later sends.
+		for next < len(units) && next-acked < window {
+			u := units[next]
+			err := c.edge.SendContext(ctx, &wire.Envelope{
+				Type:   wire.MsgUploadUnit,
+				Upload: &wire.Upload{ClientID: c.cfg.ID, Layers: u.layers, Bytes: u.bytes, Seq: int64(next)},
+			})
+			if err != nil {
+				return completed, err
+			}
+			next++
+		}
+		resp, err := c.edge.RecvContext(ctx)
+		if err != nil {
+			return completed, err
+		}
+		if resp.Type != wire.MsgUploadAck || resp.Ack == nil {
+			return completed, permanentError{fmt.Errorf("mobile: unexpected %v mid-upload", resp.Type)}
+		}
+		if !resp.Ack.OK {
+			return completed, permanentError{fmt.Errorf("mobile: upload rejected: %s", resp.Ack.Error)}
+		}
+		// Acks are cumulative: seq N confirms every unit through N.
+		hi := int(resp.Ack.Seq)
+		if hi < acked || hi >= next {
+			return completed, permanentError{fmt.Errorf("mobile: ack seq %d outside window [%d,%d)", hi, acked, next)}
+		}
+		for ; acked <= hi; acked++ {
+			u := units[acked]
+			for _, id := range u.layers {
+				c.uploaded[id] = true
+			}
+			c.met.Counter("uploads_total").Inc()
+			c.met.Counter("upload_bytes_total").Add(u.bytes)
+			completed++
+		}
+	}
+	return completed, nil
+}
+
+// UploadAllContext streams every pending schedule unit to the edge with a
+// windowed-ack pipeline: up to Config.UploadWindow units are in flight
+// before the first ack is awaited, so on a high-latency link the upload
+// costs ~1 RTT instead of one RTT per unit (UploadStepContext's lockstep
+// cost). Transient failures reconnect-and-resume under the retry policy:
+// the uploaded set is resynced from the edge's cache via MsgHasRequest, so
+// units that landed before the drop — acked or not — are never resent. It
+// returns the number of units uploaded by this call.
+func (c *Client) UploadAllContext(ctx context.Context) (int, error) {
+	if !c.planReady || c.edgeAddr == "" {
+		return 0, errors.New("mobile: not connected")
+	}
+	window := c.cfg.UploadWindow
+	if window <= 0 {
+		window = DefaultUploadWindow
+	}
+	done := 0
+	var permErr error
+	err := c.retry.Do(ctx, "streaming upload", func(ctx context.Context) error {
+		if c.edge == nil {
+			if err := c.redialEdge(ctx); err != nil {
+				c.met.Counter("edge_retries_total").Inc()
+				return err
+			}
+		}
+		n, err := c.streamPending(ctx, window)
+		done += n
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			permErr = err
+			return nil // stop retrying; surfaced below
+		}
+		c.dropEdge()
+		c.met.Counter("edge_retries_total").Inc()
+		return fmt.Errorf("%w: %w", core.ErrServerDown, err)
+	})
+	c.recomputeSplit()
+	if err == nil {
+		err = permErr
+	}
+	if err != nil {
+		return done, fmt.Errorf("mobile: streaming upload: %w", err)
+	}
+	return done, nil
+}
+
+// UploadAll is UploadAllContext without cancellation.
+//
+// Deprecated: use UploadAllContext, which can carry deadlines and
+// cancellation.
+func (c *Client) UploadAll() (int, error) {
+	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
+	return c.UploadAllContext(context.Background())
 }
 
 // recomputeSplit refreshes the query decomposition from the uploaded set.

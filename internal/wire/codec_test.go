@@ -1,0 +1,474 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/geo"
+	"perdnn/internal/gpusim"
+	"perdnn/internal/raceguard"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenEnvelopes is the fixed corpus pinning the wire format: one
+// envelope per message type (plus nil-body and edge-value variants). Any
+// codec change that alters these bytes breaks old peers and must bump
+// ProtoVersion.
+func goldenEnvelopes() []struct {
+	name string
+	env  *Envelope
+} {
+	return []struct {
+		name string
+		env  *Envelope
+	}{
+		{"register", &Envelope{Type: MsgRegister, Register: &Register{ClientID: 42, Model: dnn.ModelInception}}},
+		{"trajectory", &Envelope{Type: MsgTrajectory, Trajectory: &Trajectory{
+			ClientID: 7, Points: []geo.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 3e5}}}}},
+		{"plan-request", &Envelope{Type: MsgPlanRequest, PlanReq: &PlanReq{ClientID: 7, Server: 3}}},
+		{"plan-response", &Envelope{Type: MsgPlanResponse, PlanResp: &PlanResp{
+			ServerLayers: []dnn.LayerID{4, 5, 6},
+			UploadOrder:  [][]dnn.LayerID{{5, 6}, {4}},
+			Slowdown:     1.75,
+			EstLatencyNs: 12345678,
+		}}},
+		{"stats-request", &Envelope{Type: MsgStatsRequest}},
+		{"stats-response", &Envelope{Type: MsgStatsResponse, Stats: &StatsMsg{Sample: &gpusim.Stats{
+			ActiveClients: 3, KernelUtil: 0.4, MemUtil: 0.2, MemUsedMB: 2100, TempC: 55}}}},
+		{"migrate", &Envelope{Type: MsgMigrateRequest, Migrate: &Migrate{
+			ClientID: 9, Layers: []dnn.LayerID{0, 2}, PeerAddr: "10.0.0.2:7101", CapBytes: 1 << 20}}},
+		{"upload-layers", &Envelope{Type: MsgUploadLayers, Upload: &Upload{
+			ClientID: 9, Layers: []dnn.LayerID{1, 2, 3}, Bytes: 999}}},
+		{"upload-unit", &Envelope{Type: MsgUploadUnit, Upload: &Upload{
+			ClientID: 9, Layers: []dnn.LayerID{11}, Bytes: 4096, Seq: 5}}},
+		{"upload-ack", &Envelope{Type: MsgUploadAck, Ack: &Ack{OK: true, Seq: 5}}},
+		{"exec-request", &Envelope{Type: MsgExecRequest, ExecReq: &ExecReq{
+			ClientID: 9, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}},
+		{"exec-response", &Envelope{Type: MsgExecResponse, ExecResp: &ExecResp{ExecNs: 7777, OutputBytes: 42}}},
+		{"has-request", &Envelope{Type: MsgHasRequest, Has: &Has{ClientID: 9, Layers: []dnn.LayerID{1, 9}}}},
+		{"has-response", &Envelope{Type: MsgHasResponse, Has: &Has{ClientID: 9, Layers: []dnn.LayerID{9}}}},
+		{"ack-ok", &Envelope{Type: MsgAck, Ack: &Ack{OK: true}}},
+		{"ack-error", &Envelope{Type: MsgAck, Ack: &Ack{OK: false, Error: "edged: upload without body"}}},
+		{"register-nil-body", &Envelope{Type: MsgRegister}},
+		{"stats-nil-sample", &Envelope{Type: MsgStatsResponse, Stats: &StatsMsg{}}},
+	}
+}
+
+const goldenPath = "testdata/frames.golden"
+
+// TestGoldenFrames pins the v2 frame bytes: encoding the corpus must
+// reproduce the checked-in fixtures exactly (run with -update to
+// regenerate after an intentional, version-bumping format change), and
+// decoding the fixtures must reproduce the corpus.
+func TestGoldenFrames(t *testing.T) {
+	var sb strings.Builder
+	for _, g := range goldenEnvelopes() {
+		frame, err := appendFrame(nil, g.env)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", g.name, err)
+		}
+		fmt.Fprintf(&sb, "%s %s\n", g.name, hex.EncodeToString(frame))
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got := sb.String(); got != string(want) {
+		t.Errorf("wire format drifted from %s:\ngot:\n%swant:\n%s\n(if intentional, bump ProtoVersion and run with -update)",
+			goldenPath, got, want)
+	}
+
+	// Decode direction: golden bytes must parse back into the corpus.
+	corpus := goldenEnvelopes()
+	for i, line := range strings.Split(strings.TrimSpace(string(want)), "\n") {
+		name, hexFrame, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("golden line %d malformed: %q", i, line)
+		}
+		frame, err := hex.DecodeString(hexFrame)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(frame) < headerLen {
+			t.Fatalf("%s: frame too short", name)
+		}
+		var env Envelope
+		var scr recvScratch
+		if err := decodeEnvelope(frame[headerLen:], MsgType(frame[1]), &env, &scr); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if i < len(corpus) && !reflect.DeepEqual(normalize(&env), normalize(corpus[i].env)) {
+			t.Errorf("%s: decoded %+v, want %+v", name, &env, corpus[i].env)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares semantics, not
+// backing-array provenance.
+func normalize(e *Envelope) *Envelope {
+	out := e.Clone()
+	if out.Trajectory != nil && len(out.Trajectory.Points) == 0 {
+		out.Trajectory.Points = nil
+	}
+	nilIfEmpty := func(ids *[]dnn.LayerID) {
+		if *ids != nil && len(*ids) == 0 {
+			*ids = nil
+		}
+	}
+	if out.PlanResp != nil {
+		nilIfEmpty(&out.PlanResp.ServerLayers)
+		if len(out.PlanResp.UploadOrder) == 0 {
+			out.PlanResp.UploadOrder = nil
+		}
+		for i := range out.PlanResp.UploadOrder {
+			nilIfEmpty(&out.PlanResp.UploadOrder[i])
+		}
+	}
+	if out.Migrate != nil {
+		nilIfEmpty(&out.Migrate.Layers)
+	}
+	if out.Upload != nil {
+		nilIfEmpty(&out.Upload.Layers)
+	}
+	if out.Has != nil {
+		nilIfEmpty(&out.Has.Layers)
+	}
+	return out
+}
+
+// FuzzEnvelopeRoundTrip fuzzes the decoder with arbitrary payloads: any
+// payload that decodes must re-encode canonically — encode(decode(x)) is
+// a fixed point (encode→decode→re-encode byte-identical) — and the
+// decoder must never panic on garbage.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	for _, g := range goldenEnvelopes() {
+		frame, err := appendFrame(nil, g.env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[1], frame[headerLen:])
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		var env Envelope
+		var scr recvScratch
+		if err := decodeEnvelope(payload, MsgType(typ), &env, &scr); err != nil {
+			return // malformed input rejected is fine; panics are not
+		}
+		enc1, err := appendFrame(nil, &env)
+		if err != nil {
+			t.Fatalf("decoded envelope failed to encode: %v\nenv: %+v", err, &env)
+		}
+		var env2 Envelope
+		var scr2 recvScratch
+		if err := decodeEnvelope(enc1[headerLen:], MsgType(enc1[1]), &env2, &scr2); err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		enc2, err := appendFrame(nil, &env2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("re-encode not byte-identical:\n first %x\nsecond %x", enc1, enc2)
+		}
+	})
+}
+
+// TestDecodeRejectsTrailingBytes: payloads with junk after the body are
+// malformed, keeping the encoding canonical.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	frame, err := appendFrame(nil, &Envelope{Type: MsgAck, Ack: &Ack{OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(append([]byte(nil), frame[headerLen:]...), 0xff)
+	var env Envelope
+	var scr recvScratch
+	if err := decodeEnvelope(payload, MsgAck, &env, &scr); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestVersionMismatchTypedSentinel: a peer speaking another protocol
+// version (here: a hand-built v1 frame, and raw gob-era bytes) is rejected
+// with ErrProtoVersion, not a decode panic or a confusing parse error.
+func TestVersionMismatchTypedSentinel(t *testing.T) {
+	for _, raw := range [][]byte{
+		{1, byte(MsgAck), 0, 0, 0, 1, 0},  // well-formed frame, version 1
+		[]byte("\x1f\xff\x81\x03gob-ish"), // the old gob protocol's opening bytes
+	} {
+		client, raw2 := rawPipe(t)
+		if _, err := raw2.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		_, err := client.RecvContext(context.Background())
+		if err == nil {
+			t.Fatalf("foreign bytes %x accepted", raw)
+		}
+		if !errors.Is(err, ErrProtoVersion) {
+			t.Errorf("err = %v, want wrapping ErrProtoVersion", err)
+		}
+	}
+}
+
+// TestOversizedFrameRejected: a length prefix beyond MaxFrameBytes is
+// refused before any allocation.
+func TestOversizedFrameRejected(t *testing.T) {
+	client, raw := rawPipe(t)
+	if _, err := raw.Write([]byte{ProtoVersion, byte(MsgAck), 0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.RecvContext(context.Background())
+	if !errors.Is(err, ErrFrame) {
+		t.Errorf("err = %v, want wrapping ErrFrame", err)
+	}
+}
+
+// rawPipe returns a wire Conn and the raw peer socket feeding it.
+func rawPipe(t *testing.T) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck // test teardown
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	client, err := DialContext(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := <-ch
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() {
+		client.Close() //nolint:errcheck // test teardown
+		raw.Close()    //nolint:errcheck // test teardown
+	})
+	return client, raw
+}
+
+// echoPeer answers every envelope with itself until the conn drops.
+func echoPeer(t *testing.T) *Conn {
+	t.Helper()
+	client, raw := rawPipe(t)
+	server := NewConn(raw)
+	go func() {
+		for {
+			e, err := server.Recv()
+			if err != nil {
+				return
+			}
+			if err := server.Send(e); err != nil {
+				return
+			}
+		}
+	}()
+	return client
+}
+
+// TestSendRecvSteadyStateZeroAlloc is the live path's allocation gate,
+// mirroring partition's: once buffers are warm, a round trip of a pooled
+// envelope allocates nothing on either side of the connection.
+func TestSendRecvSteadyStateZeroAlloc(t *testing.T) {
+	if raceguard.Enabled {
+		t.Skip("race detector instrumentation allocates; gate runs in non-race builds")
+	}
+	client := echoPeer(t)
+	req := &Envelope{Type: MsgExecRequest, ExecReq: &ExecReq{
+		ClientID: 1, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}
+	ctx := context.Background()
+	// Warm the size-classed buffers and the echo peer's scratch.
+	for i := 0; i < 10; i++ {
+		if _, err := client.RoundTripContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := client.RoundTripContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state RoundTrip allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestStringMemoZeroAlloc: repeated messages carrying the same string
+// (the steady state for model names and peer addresses) reuse the
+// previously decoded string instead of reallocating.
+func TestStringMemoZeroAlloc(t *testing.T) {
+	if raceguard.Enabled {
+		t.Skip("race detector instrumentation allocates; gate runs in non-race builds")
+	}
+	client := echoPeer(t)
+	req := &Envelope{Type: MsgRegister, Register: &Register{ClientID: 3, Model: dnn.ModelResNet}}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := client.RoundTripContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		resp, err := client.RoundTripContext(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Register == nil || resp.Register.Model != dnn.ModelResNet {
+			t.Fatal("echo lost the model name")
+		}
+	}); n != 0 {
+		t.Errorf("steady-state string round trip allocates %.1f/op, want 0", n)
+	}
+}
+
+// --- benchmarks -------------------------------------------------------
+
+// BenchmarkEnvelopeEncode measures the raw codec, no socket.
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	env := goldenEnvelopes()[3].env // plan-response: the largest body
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = appendFrame(buf[:0], env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnvelopeDecode measures the raw decoder into reused scratch.
+func BenchmarkEnvelopeDecode(b *testing.B) {
+	frame, err := appendFrame(nil, goldenEnvelopes()[3].env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var env Envelope
+	var scr recvScratch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := decodeEnvelope(frame[headerLen:], MsgType(frame[1]), &env, &scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripBinary measures a full request/response over loopback
+// TCP with the v2 binary framing.
+func BenchmarkRoundTripBinary(b *testing.B) {
+	client := echoPeerB(b)
+	req := &Envelope{Type: MsgExecRequest, ExecReq: &ExecReq{
+		ClientID: 1, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.RoundTripContext(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripGobReference is the same exchange over the pre-v2 gob
+// transport, the same-binary baseline for BENCH_PR6.json.
+func BenchmarkRoundTripGobReference(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck // bench teardown
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv := NewReferenceGobConn(c)
+		for {
+			e, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			if err := srv.Send(e); err != nil {
+				return
+			}
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := NewReferenceGobConn(raw)
+	defer client.Close() //nolint:errcheck // bench teardown
+	req := &Envelope{Type: MsgExecRequest, ExecReq: &ExecReq{
+		ClientID: 1, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.RoundTrip(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// echoPeerB is echoPeer for benchmarks.
+func echoPeerB(b *testing.B) *Conn {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		server := NewConn(c)
+		for {
+			e, err := server.Recv()
+			if err != nil {
+				return
+			}
+			if err := server.Send(e); err != nil {
+				return
+			}
+		}
+	}()
+	client, err := DialContext(context.Background(), ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		client.Close() //nolint:errcheck // bench teardown
+		ln.Close()     //nolint:errcheck // bench teardown
+	})
+	return client
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"encoding/gob"
+	"net"
+)
+
+// ReferenceGobConn is the pre-v2 transport — gob with gob's own framing —
+// kept, like partition's Reference* functions, as a same-binary baseline
+// for perdnn-bench's wire round-trip benchmarks. It is NOT protocol
+// compatible with Conn (a v2 reader rejects gob bytes with
+// ErrProtoVersion) and must never be used on the live path.
+type ReferenceGobConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewReferenceGobConn wraps an established connection with the legacy gob
+// codec.
+func NewReferenceGobConn(c net.Conn) *ReferenceGobConn {
+	return &ReferenceGobConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Send gob-encodes one envelope.
+func (g *ReferenceGobConn) Send(e *Envelope) error { return g.enc.Encode(e) }
+
+// Recv gob-decodes one envelope (freshly allocated, as the old protocol
+// did per message).
+func (g *ReferenceGobConn) Recv() (*Envelope, error) {
+	var e Envelope
+	if err := g.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// RoundTrip sends a request and reads the reply.
+func (g *ReferenceGobConn) RoundTrip(e *Envelope) (*Envelope, error) {
+	if err := g.Send(e); err != nil {
+		return nil, err
+	}
+	return g.Recv()
+}
+
+// Close closes the underlying connection.
+func (g *ReferenceGobConn) Close() error { return g.c.Close() }

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pool defaults.
+const (
+	// DefaultMaxIdlePerAddr bounds the idle connections kept per peer.
+	DefaultMaxIdlePerAddr = 2
+	// DefaultIdleTimeout discards idle connections older than this on
+	// the next Get; the peer has likely dropped them by then.
+	DefaultIdleTimeout = 60 * time.Second
+)
+
+// Pool reuses live connections per peer address, so control-plane chatter
+// (master→edged stats polls, edged→edged migration pushes) stops paying a
+// TCP dial per exchange. Connections are checked out exclusively — a Conn
+// is never shared between goroutines — and returned with Put once the
+// caller is done with the response. Poisoned or closed connections are
+// discarded instead of pooled.
+type Pool struct {
+	// MaxIdlePerAddr bounds idle conns kept per address (0 = default).
+	MaxIdlePerAddr int
+	// IdleTimeout discards idle conns older than this (0 = default).
+	IdleTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]idleConn
+	closed bool
+}
+
+type idleConn struct {
+	c     *Conn
+	since time.Time
+}
+
+// NewPool returns a pool with the default limits.
+func NewPool() *Pool { return &Pool{} }
+
+func (p *Pool) maxIdle() int {
+	if p.MaxIdlePerAddr > 0 {
+		return p.MaxIdlePerAddr
+	}
+	return DefaultMaxIdlePerAddr
+}
+
+func (p *Pool) idleFor() time.Duration {
+	if p.IdleTimeout > 0 {
+		return p.IdleTimeout
+	}
+	return DefaultIdleTimeout
+}
+
+// Get returns a connection to addr: a pooled idle one when available,
+// otherwise a fresh dial. reused reports which, so callers can retry a
+// failed exchange once on a fresh connection (a pooled conn may have been
+// closed by the peer while idle).
+func (p *Pool) Get(ctx context.Context, addr string) (c *Conn, reused bool, err error) {
+	now := time.Now()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("wire: pool closed")
+	}
+	for {
+		conns := p.idle[addr]
+		n := len(conns)
+		if n == 0 {
+			break
+		}
+		ic := conns[n-1]
+		conns[n-1] = idleConn{}
+		p.idle[addr] = conns[:n-1]
+		if now.Sub(ic.since) > p.idleFor() || ic.c.Poisoned() {
+			_ = ic.c.Close()
+			continue
+		}
+		p.mu.Unlock()
+		return ic.c, true, nil
+	}
+	p.mu.Unlock()
+	conn, err := DialContext(ctx, addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return conn, false, nil
+}
+
+// Put returns a healthy connection to the pool; poisoned conns, conns not
+// created by DialContext, and overflow beyond MaxIdlePerAddr are closed.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.addr == "" || c.Poisoned() {
+		_ = c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle[c.addr]) >= p.maxIdle() {
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	if p.idle == nil {
+		p.idle = make(map[string][]idleConn, 4)
+	}
+	p.idle[c.addr] = append(p.idle[c.addr], idleConn{c: c, since: time.Now()})
+	p.mu.Unlock()
+}
+
+// RoundTrip performs one request/response exchange against addr over a
+// pooled connection, dialing when none is idle. A failure on a reused
+// connection is retried once on a fresh dial (the idle conn had likely
+// been dropped by the peer). The returned envelope is a deep copy the
+// caller owns — safe to retain after the connection re-enters the pool.
+func (p *Pool) RoundTrip(ctx context.Context, addr string, req *Envelope) (*Envelope, error) {
+	for attempt := 0; ; attempt++ {
+		conn, reused, err := p.Get(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := conn.RoundTripContext(ctx, req)
+		if err != nil {
+			_ = conn.Close()
+			if reused && attempt == 0 && ctx.Err() == nil {
+				continue
+			}
+			return nil, err
+		}
+		out := resp.Clone()
+		p.Put(conn)
+		return out, nil
+	}
+}
+
+// Close closes every idle connection and marks the pool unusable; conns
+// currently checked out are closed by their holders via Put.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, conns := range idle {
+		for _, ic := range conns {
+			if err := ic.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,8 +1,22 @@
-// Package wire defines the gob message protocol spoken by the live PerDNN
-// daemons: the master server (cmd/perdnn-master), edge servers
+// Package wire defines the binary message protocol spoken by the live
+// PerDNN daemons: the master server (cmd/perdnn-master), edge servers
 // (cmd/perdnn-edge), and mobile clients (cmd/perdnn-client). Every
-// connection carries a stream of request/response Envelope pairs; gob
-// provides the framing.
+// connection carries a stream of length-prefixed frames, each holding one
+// Envelope; the codec is hand-written (codec.go) and encodes/decodes into
+// reusable buffers owned by the Conn, so steady-state Send/Recv performs
+// no per-message allocations.
+//
+// Frame layout (DESIGN.md §12):
+//
+//	byte 0     protocol version (ProtoVersion)
+//	byte 1     message type (MsgType)
+//	bytes 2-5  payload length, big-endian uint32
+//	payload    presence byte + body fields in declaration order
+//
+// Version negotiation is implicit: the first frame a peer sends doubles as
+// its hello, and a reader that sees any other version byte rejects the
+// connection with ErrProtoVersion instead of misparsing the stream (the
+// pre-v2 gob protocol fails this check on its first byte).
 //
 // Layer weights are simulated: upload and migration messages declare byte
 // sizes and the receiving daemon realizes the transfer time against its
@@ -12,10 +26,14 @@
 package wire
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"perdnn/internal/dnn"
@@ -23,7 +41,8 @@ import (
 	"perdnn/internal/gpusim"
 )
 
-// MsgType tags an Envelope.
+// MsgType tags an Envelope. Values are part of the wire format and must
+// never be renumbered; new types are appended.
 type MsgType int
 
 // Message types.
@@ -46,35 +65,78 @@ const (
 	MsgHasResponse
 	// Generic acknowledgment.
 	MsgAck
+	// Windowed streaming upload (client -> edge): one schedule unit per
+	// MsgUploadUnit, cumulatively acknowledged by MsgUploadAck.
+	MsgUploadUnit
+	MsgUploadAck
+
+	// maxMsgType bounds the valid type range for frame validation.
+	maxMsgType = MsgUploadAck
+)
+
+// Protocol framing parameters.
+const (
+	// ProtoVersion is the wire format version carried by every frame.
+	// Version 1 was the gob protocol (implicit, never tagged); version 2
+	// is the binary framing this package implements.
+	ProtoVersion byte = 2
+	// headerLen is version(1) + type(1) + payload length(4).
+	headerLen = 6
+	// MaxFrameBytes bounds a frame's payload; larger length prefixes are
+	// rejected as malformed rather than allocated.
+	MaxFrameBytes = 16 << 20
+)
+
+// Typed protocol sentinels, tested with errors.Is.
+var (
+	// ErrProtoVersion marks a peer speaking a different protocol version
+	// (including pre-v2 gob peers); the connection is unusable.
+	ErrProtoVersion = errors.New("wire: protocol version mismatch")
+	// ErrFrame marks a malformed frame: unknown type, truncated payload,
+	// or an oversized length prefix.
+	ErrFrame = errors.New("wire: malformed frame")
+	// ErrConnPoisoned marks a connection whose in-flight operation was
+	// interrupted by a context cancelation: the stream position is
+	// unknown, so every later Send/Recv refuses it. Callers drop the
+	// connection and redial.
+	ErrConnPoisoned = errors.New("wire: connection poisoned by canceled operation")
 )
 
 // Envelope is the single wire message; exactly the field matching Type is
-// set.
+// set. Field encodings are fixed by codec.go and documented per body.
+//
+// An Envelope returned by RecvContext — and everything it points to — is
+// owned by the Conn and valid only until the next Recv on that Conn;
+// callers that retain any part of it must copy (Clone, PlanResp.Clone).
 type Envelope struct {
 	Type MsgType
 
-	Register   *Register   `json:"register,omitempty"`
-	Trajectory *Trajectory `json:"trajectory,omitempty"`
-	PlanReq    *PlanReq    `json:"planReq,omitempty"`
-	PlanResp   *PlanResp   `json:"planResp,omitempty"`
-	Stats      *StatsMsg   `json:"stats,omitempty"`
-	Migrate    *Migrate    `json:"migrate,omitempty"`
-	Upload     *Upload     `json:"upload,omitempty"`
-	ExecReq    *ExecReq    `json:"execReq,omitempty"`
-	ExecResp   *ExecResp   `json:"execResp,omitempty"`
-	Has        *Has        `json:"has,omitempty"`
-	Ack        *Ack        `json:"ack,omitempty"`
+	Register   *Register
+	Trajectory *Trajectory
+	PlanReq    *PlanReq
+	PlanResp   *PlanResp
+	Stats      *StatsMsg
+	Migrate    *Migrate
+	Upload     *Upload
+	ExecReq    *ExecReq
+	ExecResp   *ExecResp
+	Has        *Has
+	Ack        *Ack
 }
 
 // Register announces a client and its model to the master. The model is
 // identified by zoo name; the DNN profile is reconstructed server-side
 // (uploading hyperparameters only, never weights — Section III.B).
+//
+// Encoding: ClientID varint, Model string.
 type Register struct {
 	ClientID int
 	Model    dnn.ModelName
 }
 
 // Trajectory reports a client's recent locations to the master.
+//
+// Encoding: ClientID varint, point count uvarint, then X/Y float64 pairs.
 type Trajectory struct {
 	ClientID int
 	Points   []geo.Point
@@ -82,6 +144,8 @@ type Trajectory struct {
 
 // PlanReq asks the master for a current partitioning plan against an edge
 // server.
+//
+// Encoding: ClientID varint, Server varint.
 type PlanReq struct {
 	ClientID int
 	Server   geo.ServerID
@@ -89,6 +153,10 @@ type PlanReq struct {
 
 // PlanResp carries a partitioning plan: the server-side layer IDs in upload
 // order plus the estimate it was derived from.
+//
+// Encoding: ServerLayers id-list, UploadOrder unit count uvarint then one
+// id-list per unit, Slowdown float64, EstLatencyNs varint. (An id-list is a
+// uvarint count followed by varint layer IDs.)
 type PlanResp struct {
 	ServerLayers []dnn.LayerID
 	UploadOrder  [][]dnn.LayerID // schedule units, highest efficiency first
@@ -96,13 +164,36 @@ type PlanResp struct {
 	EstLatencyNs int64
 }
 
+// Clone returns a deep copy the caller owns, detached from any Conn
+// receive buffer.
+func (p *PlanResp) Clone() *PlanResp {
+	if p == nil {
+		return nil
+	}
+	out := &PlanResp{Slowdown: p.Slowdown, EstLatencyNs: p.EstLatencyNs}
+	out.ServerLayers = append([]dnn.LayerID(nil), p.ServerLayers...)
+	if p.UploadOrder != nil {
+		out.UploadOrder = make([][]dnn.LayerID, len(p.UploadOrder))
+		for i, u := range p.UploadOrder {
+			out.UploadOrder[i] = append([]dnn.LayerID(nil), u...)
+		}
+	}
+	return out
+}
+
 // StatsMsg carries a GPU statistics sample (request has a nil sample).
+//
+// Encoding: sample presence byte, then ActiveClients varint and
+// KernelUtil/MemUtil/MemUsedMB/TempC float64s.
 type StatsMsg struct {
 	Sample *gpusim.Stats
 }
 
 // Migrate instructs an edge server to push a client's cached layers to a
 // peer edge server.
+//
+// Encoding: ClientID varint, Layers id-list, PeerAddr string, CapBytes
+// varint.
 type Migrate struct {
 	ClientID int
 	Layers   []dnn.LayerID
@@ -114,13 +205,21 @@ type Migrate struct {
 
 // Upload declares layer weights arriving at an edge server (from a client
 // or a peer).
+//
+// Encoding: ClientID varint, Layers id-list, Bytes varint, Seq varint.
 type Upload struct {
 	ClientID int
 	Layers   []dnn.LayerID
 	Bytes    int64
+	// Seq is the schedule-unit sequence number within a windowed upload
+	// stream (MsgUploadUnit); unused by the lockstep MsgUploadLayers.
+	Seq int64
 }
 
 // ExecReq asks an edge server to execute the server-side part of a query.
+//
+// Encoding: ClientID varint, ServerBaseNs varint, Intensity float64,
+// InputBytes varint.
 type ExecReq struct {
 	ClientID int
 	// ServerBaseNs is the contention-free execution time of the offloaded
@@ -133,6 +232,8 @@ type ExecReq struct {
 }
 
 // ExecResp reports the simulated server execution.
+//
+// Encoding: ExecNs varint, OutputBytes varint.
 type ExecResp struct {
 	ExecNs      int64
 	OutputBytes int64
@@ -140,15 +241,82 @@ type ExecResp struct {
 
 // Has asks which of the listed layers an edge server caches for a client;
 // the response reuses the struct with the subset present.
+//
+// Encoding: ClientID varint, Layers id-list.
 type Has struct {
 	ClientID int
 	Layers   []dnn.LayerID
 }
 
 // Ack is a generic success/failure reply.
+//
+// Encoding: OK byte, Error string, Seq varint.
 type Ack struct {
 	OK    bool
 	Error string
+	// Seq cumulatively acknowledges a windowed upload stream
+	// (MsgUploadAck): every unit with sequence number <= Seq has been
+	// received and cached. Zero elsewhere.
+	Seq int64
+}
+
+// Clone returns a deep copy of the envelope the caller owns, detached from
+// any Conn receive buffer.
+func (e *Envelope) Clone() *Envelope {
+	if e == nil {
+		return nil
+	}
+	out := &Envelope{Type: e.Type}
+	if e.Register != nil {
+		v := *e.Register
+		out.Register = &v
+	}
+	if e.Trajectory != nil {
+		v := *e.Trajectory
+		v.Points = append([]geo.Point(nil), e.Trajectory.Points...)
+		out.Trajectory = &v
+	}
+	if e.PlanReq != nil {
+		v := *e.PlanReq
+		out.PlanReq = &v
+	}
+	out.PlanResp = e.PlanResp.Clone()
+	if e.Stats != nil {
+		v := *e.Stats
+		if v.Sample != nil {
+			s := *v.Sample
+			v.Sample = &s
+		}
+		out.Stats = &v
+	}
+	if e.Migrate != nil {
+		v := *e.Migrate
+		v.Layers = append([]dnn.LayerID(nil), e.Migrate.Layers...)
+		out.Migrate = &v
+	}
+	if e.Upload != nil {
+		v := *e.Upload
+		v.Layers = append([]dnn.LayerID(nil), e.Upload.Layers...)
+		out.Upload = &v
+	}
+	if e.ExecReq != nil {
+		v := *e.ExecReq
+		out.ExecReq = &v
+	}
+	if e.ExecResp != nil {
+		v := *e.ExecResp
+		out.ExecResp = &v
+	}
+	if e.Has != nil {
+		v := *e.Has
+		v.Layers = append([]dnn.LayerID(nil), e.Has.Layers...)
+		out.Has = &v
+	}
+	if e.Ack != nil {
+		v := *e.Ack
+		out.Ack = &v
+	}
+	return out
 }
 
 // Default per-envelope deadlines, used when the caller's context carries
@@ -157,24 +325,40 @@ const (
 	DefaultDialTimeout = 5 * time.Second
 	DefaultSendTimeout = 30 * time.Second
 	DefaultRecvTimeout = 60 * time.Second
+	// DefaultKeepAlive is the TCP keepalive period for dialed
+	// connections, keeping pooled conns alive between exchanges.
+	DefaultKeepAlive = 30 * time.Second
 )
 
-// Conn wraps a TCP connection with gob encoding and deadlines.
+// Conn wraps a TCP connection with the binary framing, per-operation
+// deadlines, and reusable encode/decode buffers. A Conn is not safe for
+// concurrent use by multiple goroutines.
 type Conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	c        net.Conn
+	br       *bufio.Reader
+	addr     string // dial target; "" for accepted conns
+	poisoned atomic.Bool
+
+	hdr  [headerLen]byte
+	wbuf []byte      // frame encode scratch, retained at its high-water class
+	rbuf []byte      // payload decode scratch, size-classed
+	renv Envelope    // decoded envelope, reused across Recvs
+	scr  recvScratch // decoded bodies and slices, reused across Recvs
 }
 
 // DialContext connects to a daemon, honoring the context's deadline and
-// cancellation; without a context deadline a 5 s dial timeout applies.
+// cancellation; without a context deadline a 5 s dial timeout applies. The
+// connection carries TCP keepalives so it stays reusable across exchanges
+// (see Pool).
 func DialContext(ctx context.Context, addr string) (*Conn, error) {
-	d := net.Dialer{Timeout: DefaultDialTimeout}
+	d := net.Dialer{Timeout: DefaultDialTimeout, KeepAlive: DefaultKeepAlive}
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
-	return NewConn(c), nil
+	conn := NewConn(c)
+	conn.addr = addr
+	return conn, nil
 }
 
 // Dial connects to a daemon with the default dial timeout.
@@ -187,7 +371,7 @@ func Dial(addr string) (*Conn, error) {
 
 // NewConn wraps an established connection.
 func NewConn(c net.Conn) *Conn {
-	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	return &Conn{c: c, br: bufio.NewReaderSize(c, 16<<10)}
 }
 
 // deadlineFrom returns the earlier of the context's deadline and
@@ -201,33 +385,48 @@ func deadlineFrom(ctx context.Context, fallback time.Duration) time.Time {
 	return dl
 }
 
+// nopStop is the watcher for contexts that can never be canceled.
+var nopStop = func() bool { return true }
+
 // watchCancel interrupts an in-flight read/write when ctx is canceled by
-// forcing the connection deadline into the past. The returned stop func
-// must be called once the operation completes.
+// forcing the connection deadline into the past — and poisons the Conn,
+// because the stream position is then unknown (the frame may have been
+// half written or half read). The returned stop func must be called once
+// the operation completes.
 func (c *Conn) watchCancel(ctx context.Context) (stop func() bool) {
 	if ctx.Done() == nil {
-		return func() bool { return true }
+		return nopStop
 	}
 	return context.AfterFunc(ctx, func() {
+		c.poisoned.Store(true)
 		_ = c.c.SetDeadline(time.Now())
 	})
 }
 
 // SendContext writes one envelope, bounded by the context deadline (or the
-// 30 s default, whichever is earlier) and interruptible by cancellation.
+// 30 s default, whichever is earlier) and interruptible by cancellation. A
+// Conn whose earlier operation was interrupted returns ErrConnPoisoned.
 func (c *Conn) SendContext(ctx context.Context, e *Envelope) error {
+	if c.poisoned.Load() {
+		return fmt.Errorf("wire: send: %w", ErrConnPoisoned)
+	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("wire: send: %w", err)
 	}
+	frame, err := appendFrame(c.wbuf[:0], e)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	c.wbuf = frame[:0]
 	if err := c.c.SetWriteDeadline(deadlineFrom(ctx, DefaultSendTimeout)); err != nil {
 		return fmt.Errorf("wire: set deadline: %w", err)
 	}
 	defer c.watchCancel(ctx)()
-	if err := c.enc.Encode(e); err != nil {
+	if _, err := c.c.Write(frame); err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return fmt.Errorf("wire: encode: %w: %w", ctxErr, err)
+			return fmt.Errorf("wire: write: %w: %w", ctxErr, err)
 		}
-		return fmt.Errorf("wire: encode: %w", err)
+		return fmt.Errorf("wire: write: %w", err)
 	}
 	return nil
 }
@@ -240,7 +439,14 @@ func (c *Conn) Send(e *Envelope) error {
 
 // RecvContext reads one envelope, bounded by the context deadline (or the
 // 60 s default, whichever is earlier) and interruptible by cancellation.
+//
+// The returned Envelope is owned by the Conn and valid only until the next
+// Recv; callers that retain it (or its slices/strings) must Clone. A Conn
+// whose earlier operation was interrupted returns ErrConnPoisoned.
 func (c *Conn) RecvContext(ctx context.Context) (*Envelope, error) {
+	if c.poisoned.Load() {
+		return nil, fmt.Errorf("wire: recv: %w", ErrConnPoisoned)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("wire: recv: %w", err)
 	}
@@ -248,14 +454,32 @@ func (c *Conn) RecvContext(ctx context.Context) (*Envelope, error) {
 		return nil, fmt.Errorf("wire: set deadline: %w", err)
 	}
 	defer c.watchCancel(ctx)()
-	var e Envelope
-	if err := c.dec.Decode(&e); err != nil {
+	if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, fmt.Errorf("wire: decode: %w: %w", ctxErr, err)
+			return nil, fmt.Errorf("wire: read: %w: %w", ctxErr, err)
 		}
-		return nil, fmt.Errorf("wire: decode: %w", err)
+		return nil, fmt.Errorf("wire: read: %w", err)
 	}
-	return &e, nil
+	if v := c.hdr[0]; v != ProtoVersion {
+		return nil, fmt.Errorf("wire: recv: %w: peer sent version %d, want %d",
+			ErrProtoVersion, v, ProtoVersion)
+	}
+	t := MsgType(c.hdr[1])
+	n := binary.BigEndian.Uint32(c.hdr[2:headerLen])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("wire: recv: %w: payload of %d bytes exceeds %d", ErrFrame, n, MaxFrameBytes)
+	}
+	c.rbuf = growClass(c.rbuf, int(n))[:n]
+	if _, err := io.ReadFull(c.br, c.rbuf); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("wire: read: %w: %w", ctxErr, err)
+		}
+		return nil, fmt.Errorf("wire: read: %w", err)
+	}
+	if err := decodeEnvelope(c.rbuf, t, &c.renv, &c.scr); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	return &c.renv, nil
 }
 
 // Recv reads one envelope with the default deadline.
@@ -265,6 +489,7 @@ func (c *Conn) Recv() (*Envelope, error) {
 }
 
 // RoundTripContext sends a request and reads the reply under one context.
+// The reply has Recv's ownership rules: valid until the next Recv.
 func (c *Conn) RoundTripContext(ctx context.Context, e *Envelope) (*Envelope, error) {
 	if err := c.SendContext(ctx, e); err != nil {
 		return nil, err
@@ -277,6 +502,10 @@ func (c *Conn) RoundTrip(e *Envelope) (*Envelope, error) {
 	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.RoundTripContext(context.Background(), e)
 }
+
+// Poisoned reports whether an interrupted operation made the Conn
+// unusable (see ErrConnPoisoned).
+func (c *Conn) Poisoned() bool { return c.poisoned.Load() }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }

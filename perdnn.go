@@ -19,9 +19,10 @@
 //     Markov / linear-SVR / LSTM predictors (Table III, Fig 6).
 //   - Simulation: single-client scenarios (Fig 1, Fig 7, Table II) and the
 //     large-scale city simulation (Fig 9, backhaul traffic, Fig 10).
-//   - A live runtime: master / edge / client daemons speaking a gob
-//     protocol over TCP (cmd/perdnn-master, cmd/perdnn-edge,
-//     cmd/perdnn-client).
+//   - A live runtime: master / edge / client daemons speaking a
+//     length-prefixed, versioned binary protocol over TCP with pooled
+//     connections and streaming, windowed layer uploads (cmd/perdnn-master,
+//     cmd/perdnn-edge, cmd/perdnn-client).
 //
 // Quick start:
 //
@@ -53,6 +54,7 @@ import (
 	"perdnn/internal/profile"
 	"perdnn/internal/simnet"
 	"perdnn/internal/trace"
+	"perdnn/internal/wire"
 )
 
 // Typed failure sentinels, re-exported from the control plane. Wrapped
@@ -69,6 +71,12 @@ var (
 	// ErrLocalFallback marks queries that degraded to client-local
 	// execution; results carrying it are still valid.
 	ErrLocalFallback = core.ErrLocalFallback
+	// ErrProtoVersion marks connections rejected because the peer speaks
+	// a different wire-protocol version.
+	ErrProtoVersion = wire.ErrProtoVersion
+	// ErrConnPoisoned marks operations on a connection permanently
+	// disabled by an earlier interrupted (context-canceled) exchange.
+	ErrConnPoisoned = wire.ErrConnPoisoned
 )
 
 // Re-exported fault-tolerance types.
@@ -101,6 +109,7 @@ type options struct {
 	retry    *RetryPolicy
 	faults   *FaultModel
 	deadline time.Duration
+	window   int
 }
 
 func buildOptions(opts []Option) options {
@@ -127,6 +136,11 @@ func WithRetryPolicy(p RetryPolicy) Option { return func(o *options) { o.retry =
 
 // WithFaults injects a failure model into a simulation run.
 func WithFaults(f FaultModel) Option { return func(o *options) { o.faults = &f } }
+
+// WithUploadWindow sets the live client's streaming upload window: how
+// many schedule units UploadAllContext keeps in flight ahead of the edge's
+// acks (see mobile.DefaultUploadWindow).
+func WithUploadWindow(n int) Option { return func(o *options) { o.window = n } }
 
 // WithDeadline bounds the whole call: the context handed to the operation
 // is canceled after d.
@@ -390,12 +404,16 @@ func RunSweepContext(ctx context.Context, runs []SweepRun, workers int) []SweepO
 
 // DialLive connects a live client to a master daemon, retrying transient
 // failures. WithRetryPolicy overrides the client's backoff (taking
-// precedence over cfg.Retry) and WithDeadline bounds the registration.
-// Unreachable masters surface errors wrapping ErrMasterDown.
+// precedence over cfg.Retry), WithUploadWindow sets the streaming upload's
+// in-flight window, and WithDeadline bounds the registration. Unreachable
+// masters surface errors wrapping ErrMasterDown.
 func DialLive(ctx context.Context, cfg LiveConfig, opts ...Option) (*LiveClient, error) {
 	o := buildOptions(opts)
 	if o.retry != nil {
 		cfg.Retry = o.retry
+	}
+	if o.window > 0 {
+		cfg.UploadWindow = o.window
 	}
 	ctx, cancel := o.withDeadline(ctx)
 	defer cancel()
