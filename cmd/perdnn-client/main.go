@@ -12,7 +12,11 @@
 // Usage:
 //
 //	perdnn-client -master 127.0.0.1:7100 -edge 127.0.0.1:7101 -server 0 \
-//	    -model inception -queries 10
+//	    -model inception -queries 10 [-trace out.json]
+//
+// -trace records a span for every register, plan fetch, upload unit, and
+// query and writes them on exit as a Perfetto-loadable JSON file (open it
+// at ui.perfetto.dev).
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/mobile"
+	"perdnn/internal/obs/tracing"
 )
 
 func main() {
@@ -50,10 +55,23 @@ func run() error {
 	retryBase := flag.Duration("retry-base", 0, "base backoff delay (0 = default policy)")
 	window := flag.Int("window", mobile.DefaultUploadWindow,
 		"streaming upload window (units in flight); 0 interleaves lockstep upload steps with queries")
+	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace of this session's spans to this path on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var tr *tracing.Tracer
+	if *tracePath != "" {
+		tr = tracing.NewWallClock()
+		defer func() {
+			if terr := writeTrace(*tracePath, tr); terr != nil {
+				fmt.Fprintln(os.Stderr, "perdnn-client: writing trace:", terr)
+				return
+			}
+			fmt.Printf("trace written to %s (open at ui.perfetto.dev)\n", *tracePath)
+		}()
+	}
 
 	retry := core.DefaultRetryPolicy()
 	if *retries > 0 {
@@ -70,6 +88,7 @@ func run() error {
 		TimeScale:    *timescale,
 		Retry:        &retry,
 		UploadWindow: *window,
+		Tracer:       tr,
 	})
 	if err != nil {
 		return err
@@ -141,4 +160,17 @@ func run() error {
 			fallbacks, *queries)
 	}
 	return nil
+}
+
+// writeTrace dumps the tracer's spans as a Perfetto-loadable JSON file.
+func writeTrace(path string, tr *tracing.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracing.WritePerfetto(f, tr.Spans()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

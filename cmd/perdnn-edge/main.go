@@ -20,6 +20,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/edged"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "GPU simulation seed")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
+	traceOn := flag.Bool("trace", false, "record request spans; export them at /trace on -debug-addr")
+	node := flag.String("node", "", `node label on trace spans (default "edged")`)
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -48,12 +51,18 @@ func run() error {
 	cfg.TimeScale = *timescale
 	cfg.GPUSeed = *seed
 	cfg.Logger = obs.NewLogger(os.Stderr, level, "edged")
+	cfg.Node = *node
+	if *traceOn {
+		cfg.Tracer = tracing.NewWallClock()
+	}
 	srv, err := edged.New(cfg)
 	if err != nil {
 		return err
 	}
 	if *debugAddr != "" {
-		dbg, err := obs.ServeDebug(*debugAddr, srv.Metrics())
+		mux := obs.NewDebugMux(srv.Metrics())
+		tracing.RegisterDebug(mux, srv.Tracer())
+		dbg, err := obs.ServeDebugMux(*debugAddr, mux)
 		if err != nil {
 			return err
 		}
@@ -62,7 +71,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "perdnn-edge: closing debug server:", cerr)
 			}
 		}()
-		fmt.Printf("perdnn-edge: debug endpoints on http://%s/metrics and /debug/pprof/\n", dbg.Addr())
+		fmt.Printf("perdnn-edge: debug endpoints on http://%s/metrics, /trace and /debug/pprof/\n", dbg.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"perdnn/internal/geo"
 	"perdnn/internal/master"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 )
 
 // edgeFlags collects repeated -edge values.
@@ -66,6 +67,7 @@ func run() error {
 	estimatorPath := flag.String("estimator", "", "load a trained estimator JSON (from perdnn-estimator) instead of training at startup")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
+	traceOn := flag.Bool("trace", false, "record request spans; export them at /trace on -debug-addr")
 	var edges edgeFlags
 	flag.Var(&edges, "edge", "edge server as addr@x,y (repeatable)")
 	flag.Parse()
@@ -80,6 +82,9 @@ func run() error {
 	cfg := master.DefaultConfig(edges)
 	cfg.Radius = *radius
 	cfg.Logger = obs.NewLogger(os.Stderr, level, "master")
+	if *traceOn {
+		cfg.Tracer = tracing.NewWallClock()
+	}
 	if *estimatorPath != "" {
 		f, err := os.Open(*estimatorPath)
 		if err != nil {
@@ -99,7 +104,9 @@ func run() error {
 		return err
 	}
 	if *debugAddr != "" {
-		dbg, err := obs.ServeDebug(*debugAddr, m.Metrics())
+		mux := obs.NewDebugMux(m.Metrics())
+		tracing.RegisterDebug(mux, m.Tracer())
+		dbg, err := obs.ServeDebugMux(*debugAddr, mux)
 		if err != nil {
 			return err
 		}
@@ -108,7 +115,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "perdnn-master: closing debug server:", cerr)
 			}
 		}()
-		fmt.Printf("perdnn-master: debug endpoints on http://%s/metrics and /debug/pprof/\n", dbg.Addr())
+		fmt.Printf("perdnn-master: debug endpoints on http://%s/metrics, /trace and /debug/pprof/\n", dbg.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -18,6 +18,10 @@
 // windows, transient link faults) into every cell; churn shows up as
 // failover/local-fallback counts and server_down events in -events output,
 // still byte-identical at every -parallel.
+//
+// -trace writes a Perfetto-loadable trace of every query, upload, migration
+// and failover (open it at ui.perfetto.dev); -spans writes the same span
+// journal as raw JSONL. Both are deterministic across -parallel.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/edgesim"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/trace"
 )
 
@@ -81,6 +86,8 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path (single run only)")
 	eventsPath := flag.String("events", "", "write the runs' event journals as JSONL to this path (deterministic across -parallel)")
+	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace of the runs' spans to this path (deterministic across -parallel)")
+	spansPath := flag.String("spans", "", "write the runs' span journals as JSONL to this path (deterministic across -parallel)")
 	faultSeed := flag.Int64("fault-seed", 1, "failure-model seed")
 	faultOutageProb := flag.Float64("fault-outage-prob", 0, "per-server per-interval outage probability (0 disables outages)")
 	faultOutageIntervals := flag.Int("fault-outage-intervals", 2, "outage length in prediction intervals")
@@ -163,16 +170,23 @@ func run() error {
 				cfg.TTLIntervals = *ttl
 				cfg.MaxSteps = *steps
 				cfg.RecordEvents = *eventsPath != ""
+				cfg.RecordSpans = *tracePath != "" || *spansPath != ""
 				cfg.Faults = faults
 				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
 
+	paths := exportPaths{csv: *csvPath, events: *eventsPath, trace: *tracePath, spans: *spansPath}
 	if len(cfgs) == 1 {
-		return runOne(ctx, env, cfgs[0], *csvPath, *eventsPath)
+		return runOne(ctx, env, cfgs[0], paths)
 	}
-	return runSweep(ctx, env, cfgs, *parallel, *eventsPath)
+	return runSweep(ctx, env, cfgs, *parallel, paths)
+}
+
+// exportPaths carries the optional output-file flags through the runners.
+type exportPaths struct {
+	csv, events, trace, spans string
 }
 
 // cellLabel names one sweep cell for the event journal's Run field.
@@ -210,6 +224,47 @@ func writeEvents(path string, outs []edgesim.SweepOutcome) error {
 	return nil
 }
 
+// writeSpans exports the runs' span journals, labelled per cell and
+// concatenated in run order — byte-identical at every -parallel: raw JSONL
+// to spansPath and/or a Perfetto-loadable trace (each cell its own named
+// process) to tracePath. Empty paths skip that format.
+func writeSpans(tracePath, spansPath string, outs []edgesim.SweepOutcome) error {
+	var spans []tracing.Span
+	for _, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		label := cellLabel(o.Run.Cfg)
+		for _, sp := range o.Result.Spans {
+			spans = append(spans, sp.WithRun(label))
+		}
+	}
+	write := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if spansPath != "" {
+		if err := write(spansPath, func(f *os.File) error { return tracing.WriteJSONL(f, spans) }); err != nil {
+			return err
+		}
+		fmt.Printf("  span journal:         %s (%d spans)\n", spansPath, len(spans))
+	}
+	if tracePath != "" {
+		if err := write(tracePath, func(f *os.File) error { return tracing.WritePerfetto(f, spans) }); err != nil {
+			return err
+		}
+		fmt.Printf("  perfetto trace:       %s (open at ui.perfetto.dev)\n", tracePath)
+	}
+	return nil
+}
+
 // printCacheStats reports the process-wide plan cache after all runs.
 func printCacheStats() {
 	st := core.SharedPlans().Stats()
@@ -219,7 +274,7 @@ func printCacheStats() {
 
 // runSweep executes the cross-product sweep concurrently and prints one
 // summary row per cell.
-func runSweep(ctx context.Context, env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, eventsPath string) error {
+func runSweep(ctx context.Context, env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, paths exportPaths) error {
 	t0 := time.Now()
 	outs := edgesim.RunSweepContext(ctx, edgesim.SweepConfigs(env, cfgs...), workers)
 	fmt.Printf("\n%d runs swept in %v\n", len(outs), time.Since(t0).Round(time.Millisecond))
@@ -239,16 +294,19 @@ func runSweep(ctx context.Context, env *edgesim.Env, cfgs []edgesim.CityConfig, 
 			peakUp/1e6, res.Failovers, res.LocalFallbacks)
 	}
 	printCacheStats()
-	if eventsPath != "" {
-		if err := writeEvents(eventsPath, outs); err != nil {
+	if paths.events != "" {
+		if err := writeEvents(paths.events, outs); err != nil {
 			return err
 		}
+	}
+	if err := writeSpans(paths.trace, paths.spans, outs); err != nil {
+		return err
 	}
 	return edgesim.SweepErr(outs)
 }
 
 // runOne executes a single cell and prints the full report.
-func runOne(ctx context.Context, env *edgesim.Env, cfg edgesim.CityConfig, csvPath, eventsPath string) error {
+func runOne(ctx context.Context, env *edgesim.Env, cfg edgesim.CityConfig, paths exportPaths) error {
 	t0 := time.Now()
 	res, err := edgesim.RunCityContext(ctx, env, cfg)
 	if err != nil {
@@ -278,15 +336,18 @@ func runOne(ctx context.Context, env *edgesim.Env, cfg edgesim.CityConfig, csvPa
 			res.Metrics.Counters["server_downs_total"], res.Failovers, res.LocalFallbacks)
 	}
 	printCacheStats()
-	if eventsPath != "" {
-		out := edgesim.SweepOutcome{Run: edgesim.SweepRun{Env: env, Cfg: cfg}, Result: res}
-		if err := writeEvents(eventsPath, []edgesim.SweepOutcome{out}); err != nil {
+	out := edgesim.SweepOutcome{Run: edgesim.SweepRun{Env: env, Cfg: cfg}, Result: res}
+	if paths.events != "" {
+		if err := writeEvents(paths.events, []edgesim.SweepOutcome{out}); err != nil {
 			return err
 		}
 	}
+	if err := writeSpans(paths.trace, paths.spans, []edgesim.SweepOutcome{out}); err != nil {
+		return err
+	}
 
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if paths.csv != "" {
+		f, err := os.Create(paths.csv)
 		if err != nil {
 			return err
 		}
@@ -297,7 +358,7 @@ func runOne(ctx context.Context, env *edgesim.Env, cfg edgesim.CityConfig, csvPa
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("  traffic ledger:       %s\n", csvPath)
+		fmt.Printf("  traffic ledger:       %s\n", paths.csv)
 	}
 	return nil
 }

@@ -1,0 +1,139 @@
+// Command perdnn-tracecheck validates tracing exports — the CI gate behind
+// perdnn-sim's -trace/-spans flags and the daemons' /trace endpoints.
+//
+// Usage:
+//
+//	perdnn-tracecheck [-spans spans.jsonl] [-trace trace.json] [-min-spans 1]
+//
+// -spans reads a JSONL span journal and checks the structural invariants
+// with tracing.Validate (durations non-negative, span IDs unique per
+// trace, children nest in or follow from their parents). -trace parses a
+// Chrome trace_event / Perfetto JSON export and checks it is well-formed:
+// known phases only, named events, non-negative timestamps and durations,
+// and paired flow arrows. Exits non-zero with a diagnostic on the first
+// malformed file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"perdnn/internal/obs/tracing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perdnn-tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spansPath := flag.String("spans", "", "span journal (JSONL) to validate")
+	tracePath := flag.String("trace", "", "Perfetto trace (JSON) to validate")
+	minSpans := flag.Int("min-spans", 1, "fail if the span journal holds fewer spans")
+	flag.Parse()
+
+	if *spansPath == "" && *tracePath == "" {
+		return fmt.Errorf("nothing to check: pass -spans and/or -trace")
+	}
+	if *spansPath != "" {
+		if err := checkSpans(*spansPath, *minSpans); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSpans validates a JSONL span journal.
+func checkSpans(path string, minSpans int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	spans, err := tracing.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(spans) < minSpans {
+		return fmt.Errorf("%s: %d spans, want at least %d", path, len(spans), minSpans)
+	}
+	if err := tracing.Validate(spans); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	traces := map[tracing.TraceID]bool{}
+	for i := range spans {
+		traces[spans[i].Trace] = true
+	}
+	fmt.Printf("%s: ok (%d spans, %d traces)\n", path, len(spans), len(traces))
+	return nil
+}
+
+// traceEvent is the subset of a trace_event object the checker inspects.
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  float64  `json:"dur"`
+	ID   int      `json:"id"`
+}
+
+// checkTrace parses a Perfetto export and checks well-formedness.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not trace_event JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	flows := map[int]int{} // flow ID -> start count minus finish count
+	counts := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		switch ev.Ph {
+		case "M":
+			continue // metadata events carry no timestamp
+		case "X", "i", "s", "f":
+		default:
+			return fmt.Errorf("%s: event %d (%s) has unknown phase %q", path, i, ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("%s: event %d (%s) has a missing or negative timestamp", path, i, ev.Name)
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("%s: event %d (%s) has negative duration %v", path, i, ev.Name, ev.Dur)
+		}
+		switch ev.Ph {
+		case "s":
+			flows[ev.ID]++
+		case "f":
+			flows[ev.ID]--
+		}
+	}
+	for id, n := range flows {
+		if n != 0 {
+			return fmt.Errorf("%s: flow %d has unpaired start/finish events", path, id)
+		}
+	}
+	fmt.Printf("%s: ok (%d events: %d slices, %d instants, %d flows)\n",
+		path, len(doc.TraceEvents), counts["X"], counts["i"], counts["s"])
+	return nil
+}

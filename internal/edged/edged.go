@@ -19,6 +19,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/gpusim"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/profile"
 	"perdnn/internal/wire"
 )
@@ -40,6 +41,14 @@ type Config struct {
 	// Logger receives the daemon's structured log output; nil defaults to
 	// info-level logging on stderr tagged with component=edged.
 	Logger *slog.Logger
+	// Tracer records request-scoped spans (exec queue/compute, uploads,
+	// peer migrations); incoming envelopes that carry a span context link
+	// this daemon's spans under the client's or master's trace. Nil
+	// disables tracing.
+	Tracer *tracing.Tracer
+	// Node names this daemon's span track (e.g. "server/3"); empty
+	// defaults to "edged". Only meaningful when Tracer is set.
+	Node string
 }
 
 // DefaultConfig returns a demo-friendly configuration.
@@ -61,6 +70,8 @@ type Server struct {
 	start time.Time
 	log   *slog.Logger
 	met   *obs.Registry
+	tr    *tracing.Tracer
+	node  string     // span track name
 	peers *wire.Pool // reused conns for migration pushes to peer edges
 
 	mu    sync.Mutex
@@ -90,22 +101,44 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, "edged")
 	}
-	return &Server{
+	node := cfg.Node
+	if node == "" {
+		node = "edged"
+	}
+	s := &Server{
 		cfg:    cfg,
 		model:  m,
 		gpu:    gpusim.New(profile.ServerTitanXp(), gpusim.DefaultParams(), cfg.GPUSeed),
 		start:  time.Now(),
 		log:    logger,
 		met:    obs.NewRegistry(),
+		tr:     cfg.Tracer,
+		node:   node,
 		peers:  wire.NewPool(),
 		cache:  make(map[int]*cacheEntry, 8),
 		closed: make(chan struct{}),
-	}, nil
+	}
+	s.peers.RegisterMetrics(s.met, "peer_pool_")
+	return s, nil
 }
 
 // Metrics exposes the daemon's metrics registry (requests, uploads, execs,
-// peer migrations) for the -debug-addr endpoint.
+// peer migrations, peer-pool connection reuse) for the -debug-addr
+// endpoint.
 func (s *Server) Metrics() *obs.Registry { return s.met }
+
+// Tracer exposes the daemon's span recorder (nil when tracing is off).
+func (s *Server) Tracer() *tracing.Tracer { return s.tr }
+
+// traceRoot resolves the trace and parent span for a request: the
+// propagated context when the envelope carried one, otherwise a fresh
+// local trace (so an untraced client still yields inspectable spans).
+func (s *Server) traceRoot(rc tracing.SpanContext) (tracing.TraceID, tracing.SpanID) {
+	if rc.Trace != 0 {
+		return rc.Trace, rc.Span
+	}
+	return s.tr.NewTrace(), 0
+}
 
 // now returns the daemon's virtual time for the GPU model.
 func (s *Server) now() time.Duration { return time.Since(s.start) }
@@ -216,7 +249,7 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 		if req.Upload == nil {
 			return ack(errors.New("edged: upload without body"))
 		}
-		return ack(s.upload(req.Upload))
+		return ack(s.uploadTraced(req.Upload, req.Trace))
 	case wire.MsgUploadUnit:
 		// Streaming upload: same storage path as MsgUploadLayers, but the
 		// ack echoes the unit's sequence number so the client can run a
@@ -227,7 +260,7 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 				Ack: &wire.Ack{OK: false, Error: "edged: upload without body"}}
 		}
 		seq := req.Upload.Seq
-		if err := s.upload(req.Upload); err != nil {
+		if err := s.uploadTraced(req.Upload, req.Trace); err != nil {
 			return &wire.Envelope{Type: wire.MsgUploadAck,
 				Ack: &wire.Ack{OK: false, Error: err.Error(), Seq: seq}}
 		}
@@ -236,7 +269,7 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 		if req.ExecReq == nil {
 			return ack(errors.New("edged: exec without body"))
 		}
-		return s.exec(req.ExecReq)
+		return s.exec(req.ExecReq, req.Trace)
 	case wire.MsgHasRequest:
 		if req.Has == nil {
 			return ack(errors.New("edged: has without body"))
@@ -246,7 +279,7 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 		if req.Migrate == nil {
 			return ack(errors.New("edged: migrate without body"))
 		}
-		return ack(s.migrate(ctx, req.Migrate))
+		return ack(s.migrate(ctx, req.Migrate, req.Trace))
 	default:
 		return ack(fmt.Errorf("edged: unexpected message type %d", req.Type))
 	}
@@ -259,6 +292,17 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 // the cache claim under the lock is the exactly-once point, even when an
 // old connection's handler is still draining buffered units concurrently
 // with a resend on a fresh one.
+// uploadTraced is upload plus a span on this daemon's track covering the
+// cache claim and the realized transfer, linked under the sender's trace
+// when the envelope carried one.
+func (s *Server) uploadTraced(u *wire.Upload, rc tracing.SpanContext) error {
+	trace, parent := s.traceRoot(rc)
+	start := s.tr.Now()
+	err := s.upload(u)
+	s.tr.Record(trace, parent, tracing.StageUploadUnit, s.node, start, s.tr.Now())
+	return err
+}
+
 func (s *Server) upload(u *wire.Upload) error {
 	added := s.addLayers(u.ClientID, u.Layers)
 	if len(added) == 0 {
@@ -322,13 +366,21 @@ func (s *Server) cachedLayers(client int) map[dnn.LayerID]struct{} {
 }
 
 // exec performs the offloaded part of a query under the live GPU load.
-func (s *Server) exec(r *wire.ExecReq) *wire.Envelope {
+// Two spans on this daemon's track — exec.queue (input transfer and wait
+// for the GPU) and exec.compute (kernel time) — link under the client's
+// query trace when the request carried a span context.
+func (s *Server) exec(r *wire.ExecReq, rc tracing.SpanContext) *wire.Envelope {
+	trace, parent := s.traceRoot(rc)
+	qStart := s.tr.Now()
 	// Input transfer.
 	s.sleep(time.Duration(float64(r.InputBytes) * 8 / s.cfg.LinkBps * float64(time.Second)))
 	s.gpu.Begin(s.now())
+	cStart := s.tr.Now()
+	s.tr.Record(trace, parent, tracing.StageExecQueue, s.node, qStart, cStart)
 	exec := s.gpu.ExecTime(time.Duration(r.ServerBaseNs), r.Intensity, s.now())
 	s.sleep(exec)
 	s.gpu.End()
+	s.tr.Record(trace, parent, tracing.StageExecCompute, s.node, cStart, s.tr.Now())
 	s.met.Counter("execs_total").Inc()
 	s.met.Histogram("exec_ns").ObserveDuration(exec)
 	return &wire.Envelope{Type: wire.MsgExecResponse, ExecResp: &wire.ExecResp{ExecNs: int64(exec)}}
@@ -349,7 +401,7 @@ func (s *Server) has(h *wire.Has) *wire.Envelope {
 // migrate pushes the client's cached subset of the requested layers to a
 // peer edge server ("if the current edge server does not have all of the
 // server-side layers, it sends layers as many as possible").
-func (s *Server) migrate(ctx context.Context, m *wire.Migrate) error {
+func (s *Server) migrate(ctx context.Context, m *wire.Migrate, rc tracing.SpanContext) error {
 	cached := s.cachedLayers(m.ClientID)
 	if len(cached) == 0 {
 		return nil // nothing to send; not an error
@@ -376,11 +428,18 @@ func (s *Server) migrate(ctx context.Context, m *wire.Migrate) error {
 		"layers", len(send), "bytes", bytes)
 	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
 	defer cancel()
+	// The push span joins the master's order trace, and its context rides
+	// the peer upload so the receiving daemon's span links under it too —
+	// a full cross-node chain master → source edge → target edge.
+	trace, parent := s.traceRoot(rc)
+	span := s.tr.NewSpanID()
+	start := s.tr.Now()
 	// Migration pushes to the same few peers recur as clients move; the
 	// pool reuses warm connections instead of dialing per order.
 	resp, err := s.peers.RoundTrip(ctx, m.PeerAddr, &wire.Envelope{
 		Type:   wire.MsgUploadLayers,
 		Upload: &wire.Upload{ClientID: m.ClientID, Layers: send, Bytes: bytes},
+		Trace:  tracing.SpanContext{Trace: trace, Span: span},
 	})
 	if err != nil {
 		return fmt.Errorf("edged: migrating to %s: %w: %w", m.PeerAddr, core.ErrServerDown, err)
@@ -388,5 +447,6 @@ func (s *Server) migrate(ctx context.Context, m *wire.Migrate) error {
 	if resp.Ack == nil || !resp.Ack.OK {
 		return fmt.Errorf("edged: peer %s rejected migration", m.PeerAddr)
 	}
+	s.tr.RecordWith(trace, span, parent, tracing.StageMigrate, s.node, start, s.tr.Now())
 	return nil
 }

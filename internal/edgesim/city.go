@@ -12,6 +12,7 @@ import (
 	"perdnn/internal/gpusim"
 	"perdnn/internal/mobility"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/simnet"
@@ -206,6 +207,16 @@ type CityConfig struct {
 	// function of the configuration, so sweeps that concatenate per-run
 	// journals in run order serialize identically at every worker count.
 	RecordEvents bool
+	// RecordSpans enables the run's distributed-tracing journal: every
+	// query becomes a trace whose stage spans (client.compute,
+	// transfer.up, exec.compute, transfer.down) tile its end-to-end
+	// latency exactly, every handoff a plan trace parenting its
+	// upload.unit spans, and migrations and failovers instant spans —
+	// all stamped from the virtual clock and recorded in engine order
+	// into CityResult.Spans. Like the event journal, the span journal is
+	// a deterministic function of the configuration, byte-identical at
+	// every RunSweep worker count.
+	RecordSpans bool
 	// Faults injects server outages, master blackouts, and transient link
 	// spikes into the run (nil = fault-free). The realized fault schedule
 	// is seeded, so faulty runs stay deterministic at every RunSweep
@@ -271,6 +282,8 @@ type CityResult struct {
 	Metrics obs.Snapshot
 	// Events is the run's event journal (nil unless RecordEvents was set).
 	Events []obs.Event
+	// Spans is the run's tracing journal (nil unless RecordSpans was set).
+	Spans []tracing.Span
 }
 
 // HitRatio returns hits / (hits + misses), the paper's definition.
@@ -336,6 +349,12 @@ type simClient struct {
 	pending [][]dnn.LayerID // missing layers to upload, in schedule-unit chunks
 	split   partition.Split // decomposition of the current assignment
 	chain   bool            // a query chain is running
+
+	// upTrace/upPlan are the current handoff's trace and its plan span:
+	// the upload.unit spans of the session parent under them (zero when
+	// spans are off).
+	upTrace tracing.TraceID
+	upPlan  tracing.SpanID
 }
 
 // simMetrics is the per-run metrics registry with its hot-path metrics
@@ -391,9 +410,14 @@ type world struct {
 	res     *CityResult
 
 	met     *simMetrics
-	journal *obs.Journal // nil unless cfg.RecordEvents
-	faults  *faultState  // nil unless cfg.Faults is set
-	srvDown []bool       // per-server outage state, updated at tick time
+	journal *obs.Journal    // nil unless cfg.RecordEvents
+	tracer  *tracing.Tracer // nil unless cfg.RecordSpans
+	// srvNames and cliNames intern the span track names up front so the
+	// query loop records spans without formatting (or allocating).
+	srvNames []string
+	cliNames []string
+	faults   *faultState // nil unless cfg.Faults is set
+	srvDown  []bool      // per-server outage state, updated at tick time
 	// seenPlans tracks run-local plan novelty for the plan_cache_miss
 	// event: the process-wide cache's hit state depends on concurrent
 	// runs, so the journal records "first use within this run" instead,
@@ -422,6 +446,28 @@ func (w *world) splitFor(c *simClient) partition.Split {
 		}
 	}
 	return partition.Decompose(w.prof, loc)
+}
+
+// nodeMaster is the span track for control-plane work (planning), which
+// has no embodied server in the simulation.
+const nodeMaster = "master"
+
+// serverNode returns the interned span track name for an edge server
+// ("" when spans are off or the ID is NoServer).
+func (w *world) serverNode(id geo.ServerID) string {
+	if w.tracer == nil || id == geo.NoServer {
+		return ""
+	}
+	return w.srvNames[id]
+}
+
+// clientNode returns the interned span track name for a client ("" when
+// spans are off).
+func (w *world) clientNode(id int) string {
+	if w.tracer == nil {
+		return ""
+	}
+	return w.cliNames[id]
 }
 
 // event appends one journal entry at the current virtual time; a no-op
@@ -510,6 +556,17 @@ func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult,
 	if cfg.RecordEvents {
 		w.journal = obs.NewJournal()
 	}
+	if cfg.RecordSpans {
+		w.tracer = tracing.New()
+		w.srvNames = make([]string, env.Placement.Len())
+		for i := range w.srvNames {
+			w.srvNames[i] = fmt.Sprintf("server/%d", i)
+		}
+		w.cliNames = make([]string, len(env.Dataset.Test))
+		for i := range w.cliNames {
+			w.cliNames[i] = fmt.Sprintf("client/%d", i)
+		}
+	}
 	for i := range w.servers {
 		w.servers[i] = &simServer{
 			gpu:   gpusim.New(profile.ServerTitanXp(), cfg.GPUParams, cfg.Seed+int64(i)),
@@ -569,6 +626,7 @@ func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult,
 	w.res.Traffic.RecordMetrics(w.met.reg)
 	w.res.Metrics = w.met.reg.Snapshot()
 	w.res.Events = w.journal.Events()
+	w.res.Spans = w.tracer.Spans()
 	return w.res, nil
 }
 
@@ -670,6 +728,7 @@ func (w *world) faultStep(c *simClient, sid geo.ServerID, pos geo.Point) bool {
 		w.res.Failovers++
 		w.met.failovers.Inc()
 		w.event(obs.EventFailover, c.id, home, sid, 0, 0)
+		w.instant(tracing.StageFailover, w.clientNode(c.id))
 		w.reconnect(c, sid)
 		return true
 	}
@@ -696,6 +755,7 @@ func (w *world) failover(c *simClient, down geo.ServerID, pos geo.Point) {
 	w.res.Failovers++
 	w.met.failovers.Inc()
 	w.event(obs.EventFailover, c.id, down, nid, 0, 0)
+	w.instant(tracing.StageFailover, w.clientNode(c.id))
 	w.reconnect(c, nid)
 }
 
@@ -730,10 +790,19 @@ func (w *world) localFallback(c *simClient, down geo.ServerID) {
 	w.res.LocalFallbacks++
 	w.met.localFallbks.Inc()
 	w.event(obs.EventLocalFallback, c.id, down, geo.NoServer, 0, 0)
+	w.instant(tracing.StageFailover, w.clientNode(c.id))
 	if !c.chain {
 		c.chain = true
 		w.issueQuery(c)
 	}
+}
+
+// instant records a zero-duration marker span on a fresh trace of its
+// own (failover and local-fallback have no duration in the sim — the
+// query they interrupt carries the latency).
+func (w *world) instant(stage tracing.Stage, node string) {
+	now := w.eng.Now()
+	w.tracer.Record(w.tracer.NewTrace(), 0, stage, node, now, now)
 }
 
 func (w *world) ttl() time.Duration {
@@ -794,6 +863,10 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 		// Planning failures are programming errors (validated inputs).
 		panic(fmt.Sprintf("edgesim: plan: %v", err))
 	}
+	// Each handoff is one trace: a plan instant on the master track,
+	// parenting the session's upload.unit spans.
+	c.upTrace = w.tracer.NewTrace()
+	c.upPlan = w.tracer.Record(c.upTrace, 0, tracing.StagePlan, nodeMaster, now, now)
 	c.entry = entry
 	w.trackPlan(entry, c.id, sid)
 	planLayers := entry.Plan.ServerLayers()
@@ -884,10 +957,13 @@ func (w *world) uploadNext(c *simClient, gen int) {
 	if w.cfg.Mode == ModeRouting && c.home != geo.NoServer {
 		sid = c.home
 	}
+	start := w.eng.Now()
 	w.transfer(c.cur, w.cfg.Link.UpTime(bytes), func() {
 		if c.gen != gen {
 			return
 		}
+		w.tracer.Record(c.upTrace, c.upPlan, tracing.StageUploadUnit,
+			w.clientNode(c.id), start, w.eng.Now())
 		w.servers[sid].store.add(w.eng.Now(), w.storeKey(c.id), chunk, w.ttl())
 		c.curSet.AddAll(chunk)
 		c.split = w.splitFor(c)
@@ -905,7 +981,15 @@ func (w *world) issueQuery(c *simClient) {
 	sp := c.split
 	issue := now
 
+	// Each query is one trace: a root query span on the client's track
+	// whose child stage spans tile [issue, finish] exactly, so the stage
+	// durations sum to the reported end-to-end latency.
+	qt := w.tracer.NewTrace()
+	root := w.tracer.NewSpanID()
+	cnode := w.clientNode(c.id)
+
 	finish := func(lat time.Duration) {
+		w.tracer.RecordWith(qt, root, 0, tracing.StageQuery, cnode, issue, w.eng.Now())
 		w.res.TotalQueries++
 		w.res.SumLatency += lat
 		w.res.Latency.Add(lat)
@@ -924,7 +1008,10 @@ func (w *world) issueQuery(c *simClient) {
 		if c.cur == geo.NoServer {
 			lat = w.prof.TotalClientTime()
 		}
-		w.eng.After(lat, func() { finish(w.eng.Now() - issue) })
+		w.eng.After(lat, func() {
+			w.tracer.Record(qt, root, tracing.StageClientCompute, cnode, issue, w.eng.Now())
+			finish(w.eng.Now() - issue)
+		})
 		return
 	}
 
@@ -946,12 +1033,19 @@ func (w *world) issueQuery(c *simClient) {
 	srv := w.servers[exec]
 	ap := c.cur // the wireless hop is always at the client's current AP
 	w.eng.After(sp.ClientTime, func() {
+		w.tracer.Record(qt, root, tracing.StageClientCompute, cnode, issue, w.eng.Now())
+		upStart := w.eng.Now()
 		w.transfer(ap, w.cfg.Link.UpTime(sp.UpBytes)+routeUp, func() {
+			w.tracer.Record(qt, root, tracing.StageTransferUp, cnode, upStart, w.eng.Now())
 			srv.gpu.Begin(w.eng.Now())
 			execTime := srv.gpu.ExecTime(sp.ServerBase, sp.Intensity, w.eng.Now())
+			execStart := w.eng.Now()
 			w.eng.After(execTime, func() {
 				srv.gpu.End()
+				w.tracer.Record(qt, root, tracing.StageExecCompute, w.serverNode(exec), execStart, w.eng.Now())
+				downStart := w.eng.Now()
 				w.transfer(ap, w.cfg.Link.DownTime(sp.DownBytes)+routeDown, func() {
+					w.tracer.Record(qt, root, tracing.StageTransferDown, cnode, downStart, w.eng.Now())
 					finish(w.eng.Now() - issue)
 				})
 			})
@@ -1027,6 +1121,12 @@ func (w *world) migrate(c *simClient, k int) {
 		w.met.migOrdered.Inc()
 		w.met.migBytes.Add(bytes)
 		w.event(obs.EventMigrationOrdered, c.id, c.cur, tid, len(send), bytes)
+		// One trace per migration: an order instant on the source server's
+		// track, and a completion instant on the target's track parented to
+		// it (a cross-node flow arrow in the Perfetto export). If the target
+		// dies in transit the completion is simply never recorded.
+		mt := w.tracer.NewTrace()
+		order := w.tracer.Record(mt, 0, tracing.StageMigrate, w.serverNode(c.cur), now, now)
 		layers := send
 		key := w.storeKey(c.id)
 		from := c.cur
@@ -1037,6 +1137,8 @@ func (w *world) migrate(c *simClient, k int) {
 			dst.store.add(w.eng.Now(), key, layers, w.ttl())
 			w.met.migCompleted.Inc()
 			w.event(obs.EventMigrationCompleted, c.id, from, tid, len(layers), bytes)
+			done := w.eng.Now()
+			w.tracer.Record(mt, order, tracing.StageMigrate, w.serverNode(tid), done, done)
 		})
 	}
 }

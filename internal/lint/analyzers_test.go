@@ -41,6 +41,10 @@ func TestObsJournal(t *testing.T) {
 	RunFixture(t, fixtureRoot, ObsJournal, "obsuser")
 }
 
+func TestObsJournalSpans(t *testing.T) {
+	RunFixture(t, fixtureRoot, ObsJournal, "spanuser")
+}
+
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {

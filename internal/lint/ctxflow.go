@@ -15,7 +15,7 @@ import (
 //   - a context.Context parameter anywhere but first position: the
 //     convention callers and wrappers rely on;
 //   - context.Background() / context.TODO() outside package main: a
-//     fresh root context severs the caller's cancelation; deprecated
+//     fresh root context severs the caller's cancellation; deprecated
 //     compatibility shims carry a //perdnn:vet-ignore directive instead;
 //   - exported functions that dial the network without accepting a
 //     context: net.Dial/net.DialTimeout and friends cannot be canceled
@@ -56,7 +56,7 @@ func runCtxFlow(pass *Pass) error {
 			obj := calleeObject(pass.TypesInfo, call)
 			if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
 				pass.Reportf(call.Pos(),
-					"context.%s() on the live path severs the caller's cancelation: thread the caller's ctx",
+					"context.%s() on the live path severs the caller's cancellation: thread the caller's ctx",
 					obj.Name())
 			}
 			return true

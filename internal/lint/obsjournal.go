@@ -4,24 +4,27 @@ import (
 	"go/ast"
 )
 
-// ObsJournal enforces fixed-shape journal events: outside internal/obs,
+// ObsJournal enforces fixed-shape journal records: outside internal/obs,
 // events must be built with the obs constructors (obs.NewEvent and the
 // Event.WithRun combinator), never as ad-hoc obs.Event composite
 // literals. A keyed literal silently zero-fills omitted fields, and for
 // Server/Target the zero value is a *valid server ID* — the constructors
 // force both to be stated (with -1 meaning "none"), which is what keeps
 // journal lines byte-identical and semantically unambiguous across
-// emission sites. _test.go files may use literals to state expectations.
+// emission sites. The same rule covers the span journal: outside
+// internal/obs/tracing, tracing.Span values come only from the Tracer
+// recording methods (Record, RecordWith) and the Span.WithRun combinator,
+// never as ad-hoc literals — a hand-rolled span can skip ID allocation
+// and break the journal's uniqueness and determinism contracts.
+// _test.go files may use literals to state expectations.
 var ObsJournal = &Analyzer{
 	Name: "obsjournal",
-	Doc:  "journal events are built by obs constructors, not ad-hoc Event literals",
+	Doc:  "journal events and spans are built by obs/tracing constructors, not ad-hoc literals",
 	Run:  runObsJournal,
 }
 
 func runObsJournal(pass *Pass) error {
-	if pass.Pkg.Path() == obsPath {
-		return nil
-	}
+	pkg := pass.Pkg.Path()
 	for _, file := range pass.Files {
 		if pass.InTestFile(file.Pos()) {
 			continue
@@ -32,9 +35,16 @@ func runObsJournal(pass *Pass) error {
 				return true
 			}
 			tv, ok := pass.TypesInfo.Types[lit]
-			if ok && isNamed(tv.Type, obsPath, "Event") {
+			if !ok {
+				return true
+			}
+			if pkg != obsPath && isNamed(tv.Type, obsPath, "Event") {
 				pass.Reportf(lit.Pos(),
 					"ad-hoc obs.Event literal: use obs.NewEvent (fixed field order, explicit Server/Target) so omitted fields cannot silently become server 0")
+			}
+			if pkg != tracingPath && isNamed(tv.Type, tracingPath, "Span") {
+				pass.Reportf(lit.Pos(),
+					"ad-hoc tracing.Span literal: record spans through Tracer.Record/RecordWith so IDs are allocated and the journal stays deterministic")
 			}
 			return true
 		})

@@ -12,6 +12,7 @@ import (
 const (
 	corePath    = "perdnn/internal/core"
 	obsPath     = "perdnn/internal/obs"
+	tracingPath = "perdnn/internal/obs/tracing"
 	edgesimPath = "perdnn/internal/edgesim"
 )
 

@@ -1,0 +1,46 @@
+// Package tracing stubs perdnn/internal/obs/tracing for analyzer
+// fixtures: same import path, same span surface, none of the real
+// machinery.
+package tracing
+
+import "time"
+
+type TraceID uint64
+
+type SpanID uint64
+
+type Stage string
+
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Stage  Stage
+	Node   string
+	Start  time.Duration
+	End    time.Duration
+	Run    string
+}
+
+func (s Span) WithRun(run string) Span {
+	s.Run = run
+	return s
+}
+
+type Tracer struct {
+	next  uint64
+	spans []Span
+}
+
+func (t *Tracer) Record(trace TraceID, parent SpanID, stage Stage, node string, start, end time.Duration) SpanID {
+	t.next++
+	id := SpanID(t.next)
+	t.spans = append(t.spans, Span{Trace: trace, ID: id, Parent: parent, Stage: stage, Node: node, Start: start, End: end})
+	return id
+}
+
+func (t *Tracer) RecordWith(trace TraceID, id, parent SpanID, stage Stage, node string, start, end time.Duration) {
+	t.spans = append(t.spans, Span{Trace: trace, ID: id, Parent: parent, Stage: stage, Node: node, Start: start, End: end})
+}
+
+func (t *Tracer) Spans() []Span { return t.spans }

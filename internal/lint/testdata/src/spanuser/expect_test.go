@@ -1,0 +1,11 @@
+package spanuser
+
+import "perdnn/internal/obs/tracing"
+
+// Tests may state expected spans as literals; obsjournal must stay
+// silent here.
+func expectedSpans() []tracing.Span {
+	return []tracing.Span{
+		{Trace: 1, ID: 1, Stage: "query", Node: "client/0"},
+	}
+}

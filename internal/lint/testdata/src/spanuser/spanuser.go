@@ -1,0 +1,32 @@
+// Package spanuser exercises the span half of the journal-shape analyzer.
+package spanuser
+
+import (
+	"time"
+
+	"perdnn/internal/obs/tracing"
+)
+
+func buildLiteral(now time.Duration) tracing.Span {
+	return tracing.Span{ // want "ad-hoc tracing.Span literal"
+		Trace: 1,
+		Stage: "query",
+		Start: now,
+	}
+}
+
+func appendLiteral(spans []tracing.Span, now time.Duration) []tracing.Span {
+	return append(spans, tracing.Span{Trace: 2, ID: 9, End: now}) // want "ad-hoc tracing.Span literal"
+}
+
+func recordConstructed(tr *tracing.Tracer, now time.Duration) {
+	tr.Record(1, 0, "query", "client/0", 0, now) // ok: Record allocates the ID
+}
+
+func recordPreallocated(tr *tracing.Tracer, now time.Duration) {
+	tr.RecordWith(1, 7, 0, "query", "client/0", 0, now) // ok: explicit identity fields
+}
+
+func labelRun(s tracing.Span) tracing.Span {
+	return s.WithRun("fig9/resnet") // ok: combinator preserves shape
+}

@@ -22,6 +22,7 @@ import (
 	"perdnn/internal/gpusim"
 	"perdnn/internal/mobility"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/wire"
@@ -54,6 +55,10 @@ type Config struct {
 	// Logger receives the daemon's structured log output; nil defaults to
 	// info-level logging on stderr tagged with component=master.
 	Logger *slog.Logger
+	// Tracer records request-scoped spans (register, plan, migration
+	// orders); incoming envelopes that carry a span context link the
+	// master's spans under the client's trace. Nil disables tracing.
+	Tracer *tracing.Tracer
 }
 
 // DefaultConfig returns the paper's parameters for a given edge set.
@@ -77,6 +82,7 @@ type Master struct {
 	predictor mobility.Predictor
 	log       *slog.Logger
 	met       *obs.Registry
+	tr        *tracing.Tracer
 	edges     *wire.Pool // reused conns for stats pings and migration orders
 
 	mu       sync.Mutex
@@ -137,7 +143,7 @@ func New(cfg Config) (*Master, error) {
 	if logger == nil {
 		logger = obs.NewLogger(os.Stderr, slog.LevelInfo, "master")
 	}
-	return &Master{
+	m := &Master{
 		cfg:       cfg,
 		placement: pl,
 		edgesByID: byID,
@@ -145,16 +151,36 @@ func New(cfg Config) (*Master, error) {
 		predictor: lin,
 		log:       logger,
 		met:       obs.NewRegistry(),
+		tr:        cfg.Tracer,
 		edges:     wire.NewPool(),
 		planners:  make(map[dnn.ModelName]*core.Planner, 4),
 		clients:   make(map[int]*clientState, 8),
 		closed:    make(chan struct{}),
-	}, nil
+	}
+	m.edges.RegisterMetrics(m.met, "edge_pool_")
+	return m, nil
 }
+
+// nodeMaster is the master's span track name.
+const nodeMaster = "master"
 
 // Metrics exposes the daemon's metrics registry (requests, plans,
 // migration orders) for the -debug-addr endpoint.
 func (m *Master) Metrics() *obs.Registry { return m.met }
+
+// Tracer exposes the daemon's span recorder (nil when tracing is off).
+func (m *Master) Tracer() *tracing.Tracer { return m.tr }
+
+// recordStage closes a stage span on the master's track. When the
+// request carried a span context the span joins the client's trace as a
+// child; otherwise it starts a trace of its own.
+func (m *Master) recordStage(rc tracing.SpanContext, stage tracing.Stage, start time.Duration) {
+	trace, parent := rc.Trace, rc.Span
+	if trace == 0 {
+		trace, parent = m.tr.NewTrace(), 0
+	}
+	m.tr.Record(trace, parent, stage, nodeMaster, start, m.tr.Now())
+}
 
 // SetPredictor swaps in a trained mobility predictor.
 func (m *Master) SetPredictor(p mobility.Predictor) {
@@ -265,7 +291,10 @@ func (m *Master) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 		if req.Register == nil {
 			return ackErr(errors.New("master: register without body"))
 		}
-		return ackErr(m.register(req.Register))
+		start := m.tr.Now()
+		err := m.register(req.Register)
+		m.recordStage(req.Trace, tracing.StageRegister, start)
+		return ackErr(err)
 	case wire.MsgTrajectory:
 		if req.Trajectory == nil {
 			return ackErr(errors.New("master: trajectory without body"))
@@ -275,7 +304,9 @@ func (m *Master) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 		if req.PlanReq == nil {
 			return ackErr(errors.New("master: plan request without body"))
 		}
+		start := m.tr.Now()
 		resp, err := m.plan(ctx, req.PlanReq)
+		m.recordStage(req.Trace, tracing.StagePlan, start)
 		if err != nil {
 			return ackErr(err)
 		}
@@ -378,6 +409,11 @@ func (m *Master) orderMigration(ctx context.Context, model dnn.ModelName, client
 	}
 	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
 	defer cancel()
+	// One trace per migration order, rooted at the master; the context
+	// rides the request so the edge's push span links under it.
+	mt := m.tr.NewTrace()
+	span := m.tr.NewSpanID()
+	start := m.tr.Now()
 	// Orders target the same few edges every interval; the pool rides a
 	// warm connection instead of dialing per order.
 	resp, err := m.edges.RoundTrip(ctx, curAddr, &wire.Envelope{
@@ -387,6 +423,7 @@ func (m *Master) orderMigration(ctx context.Context, model dnn.ModelName, client
 			Layers:   partition.FlattenSchedule(entry.Schedule),
 			PeerAddr: tAddr,
 		},
+		Trace: tracing.SpanContext{Trace: mt, Span: span},
 	})
 	if err != nil {
 		return fmt.Errorf("master: edge %s: %w: %w", curAddr, core.ErrServerDown, err)
@@ -394,6 +431,7 @@ func (m *Master) orderMigration(ctx context.Context, model dnn.ModelName, client
 	if resp.Ack == nil || !resp.Ack.OK {
 		return fmt.Errorf("master: edge %s rejected migration order", curAddr)
 	}
+	m.tr.RecordWith(mt, span, 0, tracing.StageMigrate, nodeMaster, start, m.tr.Now())
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/wire"
@@ -51,6 +52,11 @@ type Config struct {
 	// Logger receives the client's structured log output; nil defaults to
 	// info-level logging on stderr tagged with component=mobile.
 	Logger *slog.Logger
+	// Tracer records request-scoped spans (registration, plan fetch,
+	// upload units, queries, retries) and stamps outgoing envelopes with
+	// the span context so the edge's half of each trace links back to the
+	// client's. Nil disables tracing at near-zero cost.
+	Tracer *tracing.Tracer
 }
 
 // DefaultUploadWindow is the streaming upload's default in-flight window:
@@ -67,6 +73,8 @@ type Client struct {
 	retry  core.RetryPolicy
 	log    *slog.Logger
 	met    *obs.Registry
+	tr     *tracing.Tracer
+	node   string // span track name, "client/<id>"
 
 	// Current attachment.
 	server    geo.ServerID
@@ -76,6 +84,10 @@ type Client struct {
 	uploaded  map[dnn.LayerID]bool
 	split     partition.Split
 	planReady bool
+
+	// Current upload trace: unit spans parent to the plan-fetch span.
+	upTrace tracing.TraceID
+	upRoot  tracing.SpanID
 }
 
 // DialContext connects to the master and registers, retrying transient
@@ -104,20 +116,28 @@ func DialContext(ctx context.Context, cfg Config) (*Client, error) {
 		met:      obs.NewRegistry(),
 		server:   geo.NoServer,
 		uploaded: make(map[dnn.LayerID]bool, m.NumLayers()),
+		tr:       cfg.Tracer,
+		node:     fmt.Sprintf("client/%d", cfg.ID),
 	}
+	regTrace := c.tr.NewTrace()
+	regSpan := c.tr.NewSpanID()
+	regStart := c.tr.Now()
 	err = retry.Do(ctx, "master registration", func(ctx context.Context) error {
 		conn, err := wire.DialContext(ctx, cfg.MasterAddr)
 		if err != nil {
 			c.met.Counter("master_retries_total").Inc()
+			c.retryInstant()
 			return fmt.Errorf("%w: %w", core.ErrMasterDown, err)
 		}
 		resp, err := conn.RoundTripContext(ctx, &wire.Envelope{
 			Type:     wire.MsgRegister,
 			Register: &wire.Register{ClientID: cfg.ID, Model: cfg.Model},
+			Trace:    tracing.SpanContext{Trace: regTrace, Span: regSpan},
 		})
 		if err != nil {
 			closeQuietly(conn, c.log, "master conn")
 			c.met.Counter("master_retries_total").Inc()
+			c.retryInstant()
 			return fmt.Errorf("%w: registering: %w", core.ErrMasterDown, err)
 		}
 		if resp.Ack == nil || !resp.Ack.OK {
@@ -132,6 +152,7 @@ func DialContext(ctx context.Context, cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mobile: dialing master: %w", err)
 	}
+	c.tr.RecordWith(regTrace, regSpan, 0, tracing.StageRegister, c.node, regStart, c.tr.Now())
 	return c, nil
 }
 
@@ -147,6 +168,16 @@ func Dial(cfg Config) (*Client, error) {
 // queries and their latency distribution, plus retries, reconnects, and
 // local fallbacks).
 func (c *Client) Metrics() *obs.Registry { return c.met }
+
+// Tracer exposes the client's span recorder (nil when tracing is off).
+func (c *Client) Tracer() *tracing.Tracer { return c.tr }
+
+// retryInstant marks one retried exchange as a zero-duration span on a
+// trace of its own; the operation being retried carries the latency.
+func (c *Client) retryInstant() {
+	now := c.tr.Now()
+	c.tr.Record(c.tr.NewTrace(), 0, tracing.StageRetry, c.node, now, now)
+}
 
 func ackError(e *wire.Envelope) string {
 	if e.Ack != nil {
@@ -250,6 +281,7 @@ func (c *Client) edgeRoundTrip(ctx context.Context, e *wire.Envelope) (*wire.Env
 		if c.edge == nil {
 			if err := c.redialEdge(ctx); err != nil {
 				c.met.Counter("edge_retries_total").Inc()
+				c.retryInstant()
 				return err
 			}
 		}
@@ -257,6 +289,7 @@ func (c *Client) edgeRoundTrip(ctx context.Context, e *wire.Envelope) (*wire.Env
 		if err != nil {
 			c.dropEdge()
 			c.met.Counter("edge_retries_total").Inc()
+			c.retryInstant()
 			return fmt.Errorf("%w: %w", core.ErrServerDown, err)
 		}
 		resp = r
@@ -275,9 +308,16 @@ func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAd
 	c.dropEdge()
 	c.met.Counter("connects_total").Inc()
 	c.log.Info("connecting to edge", "server", int(server), "addr", edgeAddr)
+	// One trace per attachment: the plan-fetch span is the parent of this
+	// plan's upload-unit spans, and its context rides the request so the
+	// master's dispatch span links to it.
+	planTrace := c.tr.NewTrace()
+	planSpan := c.tr.NewSpanID()
+	planStart := c.tr.Now()
 	resp, err := c.master.RoundTripContext(ctx, &wire.Envelope{
 		Type:    wire.MsgPlanRequest,
 		PlanReq: &wire.PlanReq{ClientID: c.cfg.ID, Server: server},
+		Trace:   tracing.SpanContext{Trace: planTrace, Span: planSpan},
 	})
 	if err != nil {
 		return fmt.Errorf("mobile: requesting plan: %w: %w", core.ErrMasterDown, err)
@@ -285,6 +325,8 @@ func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAd
 	if resp.Type != wire.MsgPlanResponse || resp.PlanResp == nil {
 		return fmt.Errorf("mobile: plan request failed: %s", ackError(resp))
 	}
+	c.tr.RecordWith(planTrace, planSpan, 0, tracing.StagePlan, c.node, planStart, c.tr.Now())
+	c.upTrace, c.upRoot = planTrace, planSpan
 	c.server = server
 	c.edgeAddr = edgeAddr
 	// The response envelope aliases the master conn's receive scratch and
@@ -362,9 +404,12 @@ func (c *Client) UploadStepContext(ctx context.Context) (bool, error) {
 		if len(missing) == 0 {
 			continue
 		}
+		span := c.tr.NewSpanID()
+		start := c.tr.Now()
 		resp, err := c.edgeRoundTrip(ctx, &wire.Envelope{
 			Type:   wire.MsgUploadLayers,
 			Upload: &wire.Upload{ClientID: c.cfg.ID, Layers: missing, Bytes: bytes},
+			Trace:  tracing.SpanContext{Trace: c.upTrace, Span: span},
 		})
 		if err != nil {
 			return false, fmt.Errorf("mobile: uploading: %w", err)
@@ -372,6 +417,7 @@ func (c *Client) UploadStepContext(ctx context.Context) (bool, error) {
 		if resp.Ack == nil || !resp.Ack.OK {
 			return false, fmt.Errorf("mobile: upload rejected: %s", ackError(resp))
 		}
+		c.tr.RecordWith(c.upTrace, span, c.upRoot, tracing.StageUploadUnit, c.node, start, c.tr.Now())
 		for _, id := range missing {
 			c.uploaded[id] = true
 		}
@@ -390,10 +436,13 @@ func (c *Client) UploadStep() (bool, error) {
 }
 
 // uploadUnit is one pending schedule unit: the not-yet-uploaded layers of
-// one entry of the plan's UploadOrder.
+// one entry of the plan's UploadOrder, plus its in-flight span state (the
+// span is opened at send and recorded when the cumulative ack lands).
 type uploadUnit struct {
 	layers []dnn.LayerID
 	bytes  int64
+	span   tracing.SpanID
+	start  time.Duration
 }
 
 // pendingUnits lists the schedule units still missing at the edge, in
@@ -439,10 +488,13 @@ func (c *Client) streamPending(ctx context.Context, window int) (int, error) {
 		// Fill the window before blocking on an ack: this is the whole
 		// point — ack latency overlaps with later sends.
 		for next < len(units) && next-acked < window {
-			u := units[next]
+			u := &units[next]
+			u.span = c.tr.NewSpanID()
+			u.start = c.tr.Now()
 			err := c.edge.SendContext(ctx, &wire.Envelope{
 				Type:   wire.MsgUploadUnit,
 				Upload: &wire.Upload{ClientID: c.cfg.ID, Layers: u.layers, Bytes: u.bytes, Seq: int64(next)},
+				Trace:  tracing.SpanContext{Trace: c.upTrace, Span: u.span},
 			})
 			if err != nil {
 				return completed, err
@@ -466,6 +518,7 @@ func (c *Client) streamPending(ctx context.Context, window int) (int, error) {
 		}
 		for ; acked <= hi; acked++ {
 			u := units[acked]
+			c.tr.RecordWith(c.upTrace, u.span, c.upRoot, tracing.StageUploadUnit, c.node, u.start, c.tr.Now())
 			for _, id := range u.layers {
 				c.uploaded[id] = true
 			}
@@ -551,10 +604,16 @@ func (c *Client) recomputeSplit() {
 // errors.Is(err, core.ErrLocalFallback) and use the result.
 func (c *Client) QueryContext(ctx context.Context) (time.Duration, error) {
 	sp := c.split
+	// One trace per query; its context rides the exec request so the
+	// edge's queue/compute spans parent to the client's root span.
+	qt := c.tr.NewTrace()
+	root := c.tr.NewSpanID()
+	qStart := c.tr.Now()
 	total := sp.ClientTime
 	if c.cfg.TimeScale > 0 {
 		time.Sleep(time.Duration(float64(sp.ClientTime) * c.cfg.TimeScale))
 	}
+	c.tr.Record(qt, root, tracing.StageClientCompute, c.node, qStart, c.tr.Now())
 	if sp.ServerBase > 0 {
 		if c.edgeAddr == "" {
 			return 0, errors.New("mobile: plan offloads but no edge connection")
@@ -567,18 +626,22 @@ func (c *Client) QueryContext(ctx context.Context) (time.Duration, error) {
 				Intensity:    sp.Intensity,
 				InputBytes:   sp.UpBytes,
 			},
+			Trace: tracing.SpanContext{Trace: qt, Span: root},
 		})
 		switch {
 		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 			return 0, fmt.Errorf("mobile: query: %w", err)
 		case err != nil:
-			return c.localFallback(sp, err)
+			lat, ferr := c.localFallback(sp, err)
+			c.tr.RecordWith(qt, root, 0, tracing.StageQuery, c.node, qStart, c.tr.Now())
+			return lat, ferr
 		case resp.Type != wire.MsgExecResponse || resp.ExecResp == nil:
 			return 0, fmt.Errorf("mobile: query failed: %s", ackError(resp))
 		}
 		link := partition.LabWiFi()
 		total += link.UpTime(sp.UpBytes) + time.Duration(resp.ExecResp.ExecNs) + link.DownTime(sp.DownBytes)
 	}
+	c.tr.RecordWith(qt, root, 0, tracing.StageQuery, c.node, qStart, c.tr.Now())
 	c.met.Counter("queries_total").Inc()
 	c.met.Histogram("query_latency_ns").ObserveDuration(total)
 	return total, nil
@@ -602,6 +665,8 @@ func (c *Client) localFallback(sp partition.Split, cause error) (time.Duration, 
 	c.met.Counter("local_fallbacks_total").Inc()
 	c.met.Counter("queries_total").Inc()
 	c.met.Histogram("query_latency_ns").ObserveDuration(total)
+	fbNow := c.tr.Now()
+	c.tr.Record(c.tr.NewTrace(), 0, tracing.StageFailover, c.node, fbNow, fbNow)
 	c.log.Warn("query degraded to local execution", "err", cause)
 	return total, fmt.Errorf("mobile: query: %w: %w", core.ErrLocalFallback, cause)
 }

@@ -1,0 +1,173 @@
+package mobile_test
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/edged"
+	"perdnn/internal/geo"
+	"perdnn/internal/master"
+	"perdnn/internal/mobile"
+	"perdnn/internal/obs/tracing"
+)
+
+// TestLiveTracePropagation drives register → plan → upload → query over
+// localhost TCP with tracers on every node, then checks that the span
+// context propagated across the wire: the master's and edge's spans join
+// the traces the client started, so one query reads as a single trace
+// spanning client, master, and edge tracks.
+func TestLiveTracePropagation(t *testing.T) {
+	grid := geo.NewHexGrid(50)
+	loc := grid.Center(geo.HexCell{Q: 0, R: 0})
+
+	edgeTr := tracing.NewWallClock()
+	ecfg := edged.DefaultConfig(dnn.ModelMobileNet)
+	ecfg.TimeScale = 0.0005
+	ecfg.Tracer = edgeTr
+	ecfg.Node = "server/0"
+	srv, err := edged.New(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(eln) //nolint:errcheck // closed by cleanup
+	t.Cleanup(func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Logf("closing edge: %v", cerr)
+		}
+	})
+
+	masterTr := tracing.NewWallClock()
+	mcfg := master.DefaultConfig([]master.EdgeInfo{{Addr: eln.Addr().String(), Location: loc}})
+	mcfg.Tracer = masterTr
+	m, err := master.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go m.Serve(mln) //nolint:errcheck // closed by cleanup
+	t.Cleanup(func() {
+		if cerr := m.Close(); cerr != nil {
+			t.Logf("closing master: %v", cerr)
+		}
+	})
+
+	clientTr := tracing.NewWallClock()
+	ctx := context.Background()
+	client, err := mobile.DialContext(ctx, mobile.Config{
+		ID:         3,
+		Model:      dnn.ModelMobileNet,
+		MasterAddr: mln.Addr().String(),
+		TimeScale:  0.0005,
+		Tracer:     clientTr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close() //nolint:errcheck // test teardown
+	if client.Tracer() != clientTr {
+		t.Fatal("Tracer accessor does not return the configured tracer")
+	}
+
+	server := m.Placement().ServerAt(loc)
+	if err := client.ConnectContext(ctx, server, eln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.UploadAllContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.QueryContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	byStage := func(spans []tracing.Span, stage tracing.Stage) []tracing.Span {
+		var out []tracing.Span
+		for _, sp := range spans {
+			if sp.Stage == stage {
+				out = append(out, sp)
+			}
+		}
+		return out
+	}
+	clientSpans := clientTr.Spans()
+
+	// The client recorded every lifecycle stage on its own track.
+	for _, stage := range []tracing.Stage{
+		tracing.StageRegister, tracing.StagePlan, tracing.StageUploadUnit,
+		tracing.StageClientCompute, tracing.StageQuery,
+	} {
+		if len(byStage(clientSpans, stage)) == 0 {
+			t.Errorf("client recorded no %q span", stage)
+		}
+	}
+
+	roots := byStage(clientSpans, tracing.StageQuery)
+	if len(roots) != 1 {
+		t.Fatalf("client recorded %d query roots, want 1", len(roots))
+	}
+	root := roots[0]
+
+	// The edge's exec spans joined the client's query trace as children
+	// of its root span — the wire carried the context.
+	for _, stage := range []tracing.Stage{tracing.StageExecQueue, tracing.StageExecCompute} {
+		spans := byStage(edgeTr.Spans(), stage)
+		if len(spans) != 1 {
+			t.Fatalf("edge recorded %d %q spans, want 1", len(spans), stage)
+		}
+		if spans[0].Trace != root.Trace || spans[0].Parent != root.ID {
+			t.Errorf("edge %q span (trace %d, parent %d) is not a child of the client's query root (trace %d, span %d)",
+				stage, spans[0].Trace, spans[0].Parent, root.Trace, root.ID)
+		}
+		if spans[0].Node != "server/0" {
+			t.Errorf("edge span node = %q, want server/0", spans[0].Node)
+		}
+	}
+
+	// Same for the edge's upload spans against the client's plan trace.
+	plans := byStage(clientSpans, tracing.StagePlan)
+	edgeUploads := byStage(edgeTr.Spans(), tracing.StageUploadUnit)
+	if len(edgeUploads) == 0 {
+		t.Fatal("edge recorded no upload spans")
+	}
+	for _, sp := range edgeUploads {
+		if sp.Trace != plans[0].Trace {
+			t.Errorf("edge upload span trace %d is not the client's plan trace %d", sp.Trace, plans[0].Trace)
+		}
+	}
+
+	// And the master's register/plan spans joined the client's traces.
+	for _, stage := range []tracing.Stage{tracing.StageRegister, tracing.StagePlan} {
+		cs := byStage(clientSpans, stage)
+		ms := byStage(masterTr.Spans(), stage)
+		if len(ms) != 1 {
+			t.Fatalf("master recorded %d %q spans, want 1", len(ms), stage)
+		}
+		if ms[0].Trace != cs[0].Trace || ms[0].Parent != cs[0].ID {
+			t.Errorf("master %q span (trace %d, parent %d) is not a child of the client's (trace %d, span %d)",
+				stage, ms[0].Trace, ms[0].Parent, cs[0].Trace, cs[0].ID)
+		}
+	}
+
+	// The merged journal of all three nodes validates. Each tracer
+	// allocates span IDs independently, so cross-node merges label spans
+	// with their originating node to keep (run, trace, id) unique.
+	var merged []tracing.Span
+	for node, spans := range map[string][]tracing.Span{
+		"client": clientSpans, "master": masterTr.Spans(), "edge": edgeTr.Spans(),
+	} {
+		for _, sp := range spans {
+			merged = append(merged, sp.WithRun(node))
+		}
+	}
+	if err := tracing.Validate(merged); err != nil {
+		t.Errorf("merged live trace invalid: %v", err)
+	}
+}

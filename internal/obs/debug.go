@@ -43,13 +43,23 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	if reg == nil {
 		return nil, errors.New("obs: debug server needs a registry")
 	}
+	return ServeDebugMux(addr, NewDebugMux(reg))
+}
+
+// ServeDebugMux is ServeDebug for a caller-built handler — daemons that
+// add endpoints beyond the standard mux (e.g. tracing.RegisterDebug)
+// compose the mux themselves and serve it here.
+func ServeDebugMux(addr string, h http.Handler) (*DebugServer, error) {
+	if h == nil {
+		return nil, errors.New("obs: debug server needs a handler")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: binding debug listener: %w", err)
 	}
 	d := &DebugServer{
 		ln:   ln,
-		srv:  &http.Server{Handler: NewDebugMux(reg)},
+		srv:  &http.Server{Handler: h},
 		done: make(chan struct{}),
 	}
 	go func() {

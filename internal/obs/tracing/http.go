@@ -1,0 +1,30 @@
+package tracing
+
+import "net/http"
+
+// RegisterDebug wires the tracer's debug endpoints into mux, alongside
+// the obs debug handlers:
+//
+//	/trace        the recorded spans as Chrome trace_event JSON — save it
+//	              and load it in Perfetto (ui.perfetto.dev) or
+//	              chrome://tracing.
+//	/trace/spans  the raw span journal as JSONL, one span per line.
+//
+// Both snapshot the buffer at request time; recording continues
+// unaffected. A nil tracer serves empty documents, so daemons register
+// unconditionally and the endpoints simply stay empty when tracing is
+// off.
+func RegisterDebug(mux *http.ServeMux, tr *Tracer) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WritePerfetto(w, tr.Spans()); err != nil {
+			return // header already out; nothing useful left to do
+		}
+	})
+	mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := WriteJSONL(w, tr.Spans()); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRegisterDebug: /trace serves Perfetto-loadable JSON of the recorded
+// spans, /trace/spans the raw JSONL, and a nil tracer serves empty
+// documents instead of crashing.
+func TestRegisterDebug(t *testing.T) {
+	tr := New()
+	trace := tr.NewTrace()
+	tr.Record(trace, 0, StageQuery, "client/0", 0, 10)
+
+	mux := http.NewServeMux()
+	RegisterDebug(mux, tr)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/trace"), &doc); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("/trace has no trace events")
+	}
+	var sp Span
+	if err := json.Unmarshal(get(t, srv.URL+"/trace/spans"), &sp); err != nil {
+		t.Fatalf("/trace/spans line is not a span: %v", err)
+	}
+	if sp.Stage != StageQuery {
+		t.Errorf("span stage = %q, want %q", sp.Stage, StageQuery)
+	}
+
+	nilMux := http.NewServeMux()
+	var disabled *Tracer
+	RegisterDebug(nilMux, disabled)
+	nilSrv := httptest.NewServer(nilMux)
+	defer nilSrv.Close()
+	if err := json.Unmarshal(get(t, nilSrv.URL+"/trace"), &doc); err != nil {
+		t.Fatalf("nil tracer /trace is not JSON: %v", err)
+	}
+	if body := get(t, nilSrv.URL+"/trace/spans"); len(body) != 0 {
+		t.Errorf("nil tracer /trace/spans served %d bytes, want empty", len(body))
+	}
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test teardown
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}

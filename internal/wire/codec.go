@@ -13,6 +13,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/gpusim"
+	"perdnn/internal/obs/tracing"
 )
 
 // minBufClass is the smallest size class a growing buffer jumps to.
@@ -69,6 +70,13 @@ func appendFrame(dst []byte, e *Envelope) ([]byte, error) {
 	dst, err = appendEnvelopeBody(dst, e)
 	if err != nil {
 		return dst[:start], err
+	}
+	// Optional trace tail: a zero context appends nothing, so untraced
+	// frames are byte-identical to the pre-tracing format.
+	if !e.Trace.IsZero() {
+		dst = append(dst, 1)
+		dst = appendUvarint(dst, uint64(e.Trace.Trace))
+		dst = appendUvarint(dst, uint64(e.Trace.Span))
 	}
 	n := len(dst) - body
 	if n > MaxFrameBytes {
@@ -450,6 +458,22 @@ func decodeEnvelope(payload []byte, t MsgType, env *Envelope, s *recvScratch) er
 		case MsgAck, MsgUploadAck:
 			s.ack = Ack{OK: d.bool(), Error: d.string(&s.errMemo), Seq: d.varint()}
 			env.Ack = &s.ack
+		}
+	}
+	// Optional trace tail. Absent bytes mean "no context" (frames from
+	// untraced or pre-tracing peers); when present, the tail must be
+	// canonical — presence byte 1 and a non-zero context — so re-encoding
+	// a decoded envelope stays a byte-identical fixed point.
+	if d.err == nil && d.remaining() > 0 {
+		if p := d.byte1(); d.err == nil && p != 1 {
+			return fmt.Errorf("%w: bad trace presence byte %d", ErrFrame, p)
+		}
+		env.Trace = tracing.SpanContext{
+			Trace: tracing.TraceID(d.uvarint()),
+			Span:  tracing.SpanID(d.uvarint()),
+		}
+		if d.err == nil && env.Trace.IsZero() {
+			return fmt.Errorf("%w: explicit zero trace context", ErrFrame)
 		}
 	}
 	if d.err != nil {

@@ -17,6 +17,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/gpusim"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/raceguard"
 )
 
@@ -63,6 +64,17 @@ func goldenEnvelopes() []struct {
 		{"ack-error", &Envelope{Type: MsgAck, Ack: &Ack{OK: false, Error: "edged: upload without body"}}},
 		{"register-nil-body", &Envelope{Type: MsgRegister}},
 		{"stats-nil-sample", &Envelope{Type: MsgStatsResponse, Stats: &StatsMsg{}}},
+		// Traced variants: the optional trace tail after the body. New
+		// entries append (the untraced lines above must stay byte-stable —
+		// absent tail is the pre-tracing format).
+		{"exec-request-traced", &Envelope{Type: MsgExecRequest,
+			Trace:   tracing.SpanContext{Trace: 77, Span: 1234},
+			ExecReq: &ExecReq{ClientID: 9, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}},
+		{"upload-unit-traced", &Envelope{Type: MsgUploadUnit,
+			Trace:  tracing.SpanContext{Trace: 1, Span: 2},
+			Upload: &Upload{ClientID: 9, Layers: []dnn.LayerID{11}, Bytes: 4096, Seq: 5}}},
+		{"register-traced-nil-body", &Envelope{Type: MsgRegister,
+			Trace: tracing.SpanContext{Trace: 1 << 40, Span: 3}}},
 	}
 }
 
@@ -210,6 +222,67 @@ func TestDecodeRejectsTrailingBytes(t *testing.T) {
 	}
 }
 
+// TestTraceTailRoundTrip: the optional trace context survives a codec
+// round trip, and an untraced frame decodes to the zero context.
+func TestTraceTailRoundTrip(t *testing.T) {
+	traced := &Envelope{Type: MsgAck, Ack: &Ack{OK: true},
+		Trace: tracing.SpanContext{Trace: 5, Span: 9}}
+	frame, err := appendFrame(nil, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	var scr recvScratch
+	if err := decodeEnvelope(frame[headerLen:], MsgAck, &env, &scr); err != nil {
+		t.Fatal(err)
+	}
+	if env.Trace != traced.Trace {
+		t.Errorf("trace context = %+v, want %+v", env.Trace, traced.Trace)
+	}
+
+	untraced, err := appendFrame(nil, &Envelope{Type: MsgAck, Ack: &Ack{OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeEnvelope(untraced[headerLen:], MsgAck, &env, &scr); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Trace.IsZero() {
+		t.Errorf("untraced frame decoded context %+v, want zero", env.Trace)
+	}
+	if len(untraced) >= len(frame) {
+		t.Errorf("untraced frame (%d bytes) not shorter than traced (%d)", len(untraced), len(frame))
+	}
+}
+
+// TestTraceTailRejectsNonCanonical: a malformed or non-canonical trace
+// tail (wrong presence byte, explicit zero context, truncation) is
+// rejected as a frame error, keeping encode∘decode a fixed point.
+func TestTraceTailRejectsNonCanonical(t *testing.T) {
+	base, err := appendFrame(nil, &Envelope{Type: MsgAck, Ack: &Ack{OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := base[headerLen:]
+	for _, tc := range []struct {
+		name string
+		tail []byte
+	}{
+		{"zero presence byte", []byte{0}},
+		{"bad presence byte", []byte{2, 5, 9}},
+		{"explicit zero context", []byte{1, 0, 0}},
+		{"truncated span ID", []byte{1, 5}},
+	} {
+		payload := append(append([]byte(nil), body...), tc.tail...)
+		var env Envelope
+		var scr recvScratch
+		err := decodeEnvelope(payload, MsgAck, &env, &scr)
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want wrapping ErrFrame", tc.name, err)
+		}
+	}
+}
+
 // TestVersionMismatchTypedSentinel: a peer speaking another protocol
 // version (here: a hand-built v1 frame, and raw gob-era bytes) is rejected
 // with ErrProtoVersion, not a decode panic or a confusing parse error.
@@ -306,15 +379,25 @@ func TestSendRecvSteadyStateZeroAlloc(t *testing.T) {
 	client := echoPeer(t)
 	req := &Envelope{Type: MsgExecRequest, ExecReq: &ExecReq{
 		ClientID: 1, ServerBaseNs: 5000, Intensity: 0.3, InputBytes: 100}}
+	// The traced variant exercises the optional trace tail on both the
+	// encode and decode side of the loop.
+	traced := req.Clone()
+	traced.Trace = tracing.SpanContext{Trace: 42, Span: 7}
 	ctx := context.Background()
 	// Warm the size-classed buffers and the echo peer's scratch.
 	for i := 0; i < 10; i++ {
 		if _, err := client.RoundTripContext(ctx, req); err != nil {
 			t.Fatal(err)
 		}
+		if _, err := client.RoundTripContext(ctx, traced); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if n := testing.AllocsPerRun(200, func() {
 		if _, err := client.RoundTripContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.RoundTripContext(ctx, traced); err != nil {
 			t.Fatal(err)
 		}
 	}); n != 0 {

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"perdnn/internal/obs"
 )
 
 // Pool defaults.
@@ -31,6 +34,73 @@ type Pool struct {
 	mu     sync.Mutex
 	idle   map[string][]idleConn
 	closed bool
+
+	// Lifetime counters behind Stats; see PoolStats for semantics.
+	reuseHits  poolCounter
+	staleDrops poolCounter
+	dials      poolCounter
+	evictions  poolCounter
+	retries    poolCounter
+}
+
+// poolCounter is one lifetime counter plus its optional obs mirror
+// (installed by RegisterMetrics).
+type poolCounter struct {
+	v   atomic.Int64
+	obs atomic.Pointer[obs.Counter]
+}
+
+func (c *poolCounter) inc() {
+	c.v.Add(1)
+	if m := c.obs.Load(); m != nil {
+		m.Inc()
+	}
+}
+
+// mirror installs the obs counter, seeded with the current total.
+func (c *poolCounter) mirror(m *obs.Counter) {
+	m.Add(c.v.Load())
+	c.obs.Store(m)
+}
+
+// PoolStats is a snapshot of a pool's lifetime counters.
+type PoolStats struct {
+	// ReuseHits counts Gets satisfied by a pooled idle connection.
+	ReuseHits int64
+	// StaleDrops counts idle connections discarded at Get because they
+	// sat idle past IdleTimeout or were poisoned.
+	StaleDrops int64
+	// Dials counts fresh connections established for Get.
+	Dials int64
+	// Evictions counts healthy connections closed at Put because the
+	// per-address idle list was full or the pool was closed.
+	Evictions int64
+	// Retries counts RoundTrip exchanges replayed on a fresh dial after a
+	// reused connection failed (the peer had dropped it while idle).
+	Retries int64
+}
+
+// Stats returns the pool's lifetime counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		ReuseHits:  p.reuseHits.v.Load(),
+		StaleDrops: p.staleDrops.v.Load(),
+		Dials:      p.dials.v.Load(),
+		Evictions:  p.evictions.v.Load(),
+		Retries:    p.retries.v.Load(),
+	}
+}
+
+// RegisterMetrics exposes the pool's counters in an obs registry under
+// prefix (e.g. "edge_pool_"): <prefix>reuse_hits_total, stale_drops_total,
+// dials_total, evictions_total, retries_total. The obs counters are seeded
+// with the pool's current totals and track it from then on.
+func (p *Pool) RegisterMetrics(reg *obs.Registry, prefix string) {
+	p.reuseHits.mirror(reg.Counter(prefix + "reuse_hits_total"))
+	p.staleDrops.mirror(reg.Counter(prefix + "stale_drops_total"))
+	p.dials.mirror(reg.Counter(prefix + "dials_total"))
+	p.evictions.mirror(reg.Counter(prefix + "evictions_total"))
+	p.retries.mirror(reg.Counter(prefix + "retries_total"))
 }
 
 type idleConn struct {
@@ -77,9 +147,11 @@ func (p *Pool) Get(ctx context.Context, addr string) (c *Conn, reused bool, err 
 		p.idle[addr] = conns[:n-1]
 		if now.Sub(ic.since) > p.idleFor() || ic.c.Poisoned() {
 			_ = ic.c.Close()
+			p.staleDrops.inc()
 			continue
 		}
 		p.mu.Unlock()
+		p.reuseHits.inc()
 		return ic.c, true, nil
 	}
 	p.mu.Unlock()
@@ -87,6 +159,7 @@ func (p *Pool) Get(ctx context.Context, addr string) (c *Conn, reused bool, err 
 	if err != nil {
 		return nil, false, err
 	}
+	p.dials.inc()
 	return conn, false, nil
 }
 
@@ -104,6 +177,7 @@ func (p *Pool) Put(c *Conn) {
 	if p.closed || len(p.idle[c.addr]) >= p.maxIdle() {
 		p.mu.Unlock()
 		_ = c.Close()
+		p.evictions.inc()
 		return
 	}
 	if p.idle == nil {
@@ -128,6 +202,7 @@ func (p *Pool) RoundTrip(ctx context.Context, addr string, req *Envelope) (*Enve
 		if err != nil {
 			_ = conn.Close()
 			if reused && attempt == 0 && ctx.Err() == nil {
+				p.retries.inc()
 				continue
 			}
 			return nil, err

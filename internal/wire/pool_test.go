@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"perdnn/internal/obs"
 )
 
 // countingEchoServer echoes envelopes and counts accepted connections, so
@@ -230,5 +232,88 @@ func TestPoolClose(t *testing.T) {
 	p.Put(raw)
 	if p.idle != nil && len(p.idle[srv.addr()]) != 0 {
 		t.Error("Put after Close pooled a conn")
+	}
+}
+
+// TestPoolStats: the pool's lifetime counters classify every connection
+// event — dials, reuse hits, stale drops, evictions, and retries — and
+// RegisterMetrics mirrors them into an obs registry.
+func TestPoolStats(t *testing.T) {
+	srv := newCountingEchoServer(t)
+	p := NewPool()
+	defer p.Close() //nolint:errcheck // test teardown
+	ctx := context.Background()
+	req := &Envelope{Type: MsgAck, Ack: &Ack{OK: true}}
+
+	// Fresh dial, then a reuse hit.
+	for i := 0; i < 2; i++ {
+		if _, err := p.RoundTrip(ctx, srv.addr(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Dials != 1 || st.ReuseHits != 1 {
+		t.Fatalf("after dial+reuse: %+v, want Dials=1 ReuseHits=1", st)
+	}
+
+	// Kill the pooled conn server-side: the next exchange reuses it,
+	// fails, and retries on a fresh dial.
+	srv.killConns()
+	if _, err := p.RoundTrip(ctx, srv.addr(), req); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.Retries != 1 || st.ReuseHits != 2 || st.Dials != 2 {
+		t.Fatalf("after retry: %+v, want Retries=1 ReuseHits=2 Dials=2", st)
+	}
+
+	// Overflow the idle list: a second healthy Put beyond MaxIdlePerAddr
+	// is an eviction.
+	p.MaxIdlePerAddr = 1
+	c1, _, err := p.Get(ctx, srv.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := p.Get(ctx, srv.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	p.Put(c2)
+	if st = p.Stats(); st.Evictions != 1 {
+		t.Fatalf("after overflow put: %+v, want Evictions=1", st)
+	}
+
+	// Age the idle conn past IdleTimeout: the next Get drops it as stale
+	// and dials fresh.
+	p.IdleTimeout = time.Nanosecond
+	time.Sleep(time.Millisecond)
+	c3, reused, err := p.Get(ctx, srv.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("Get reused a conn idle past IdleTimeout")
+	}
+	p.Put(c3)
+	if st = p.Stats(); st.StaleDrops != 1 {
+		t.Fatalf("after stale drop: %+v, want StaleDrops=1", st)
+	}
+
+	// The obs mirror is seeded with the current totals and tracks new
+	// increments.
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg, "peer_pool_")
+	snap := reg.Snapshot()
+	if got := snap.Counters["peer_pool_dials_total"]; got != st.Dials {
+		t.Fatalf("registered dials counter = %d, want %d (seeded)", got, st.Dials)
+	}
+	p.IdleTimeout = 0
+	if _, err := p.RoundTrip(ctx, srv.addr(), req); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got, want := snap.Counters["peer_pool_reuse_hits_total"], p.Stats().ReuseHits; got != want {
+		t.Fatalf("mirrored reuse counter = %d, want %d", got, want)
 	}
 }

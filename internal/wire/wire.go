@@ -11,7 +11,10 @@
 //	byte 0     protocol version (ProtoVersion)
 //	byte 1     message type (MsgType)
 //	bytes 2-5  payload length, big-endian uint32
-//	payload    presence byte + body fields in declaration order
+//	payload    presence byte + body fields in declaration order,
+//	           then an optional trace tail: presence byte 1 + trace ID
+//	           uvarint + span ID uvarint (absent ⇒ no trace context, so
+//	           frames from peers without tracing decode unchanged)
 //
 // Version negotiation is implicit: the first frame a peer sends doubles as
 // its hello, and a reader that sees any other version byte rejects the
@@ -39,6 +42,7 @@ import (
 	"perdnn/internal/dnn"
 	"perdnn/internal/geo"
 	"perdnn/internal/gpusim"
+	"perdnn/internal/obs/tracing"
 )
 
 // MsgType tags an Envelope. Values are part of the wire format and must
@@ -96,7 +100,7 @@ var (
 	// or an oversized length prefix.
 	ErrFrame = errors.New("wire: malformed frame")
 	// ErrConnPoisoned marks a connection whose in-flight operation was
-	// interrupted by a context cancelation: the stream position is
+	// interrupted by a context cancellation: the stream position is
 	// unknown, so every later Send/Recv refuses it. Callers drop the
 	// connection and redial.
 	ErrConnPoisoned = errors.New("wire: connection poisoned by canceled operation")
@@ -110,6 +114,13 @@ var (
 // callers that retain any part of it must copy (Clone, PlanResp.Clone).
 type Envelope struct {
 	Type MsgType
+
+	// Trace is the optional distributed-tracing context propagated with
+	// the message: the sender's trace ID and the span the receiver should
+	// parent its work under. The zero value means "no context" and
+	// encodes as nothing at all (the optional tail after the body), so
+	// untraced peers interoperate unchanged.
+	Trace tracing.SpanContext
 
 	Register   *Register
 	Trajectory *Trajectory
@@ -266,7 +277,7 @@ func (e *Envelope) Clone() *Envelope {
 	if e == nil {
 		return nil
 	}
-	out := &Envelope{Type: e.Type}
+	out := &Envelope{Type: e.Type, Trace: e.Trace}
 	if e.Register != nil {
 		v := *e.Register
 		out.Register = &v

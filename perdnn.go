@@ -23,6 +23,9 @@
 //     length-prefixed, versioned binary protocol over TCP with pooled
 //     connections and streaming, windowed layer uploads (cmd/perdnn-master,
 //     cmd/perdnn-edge, cmd/perdnn-client).
+//   - Distributed tracing: per-query spans across simulation and live
+//     runs, exported as a JSONL journal or a Perfetto-loadable trace
+//     (Tracer, WithTracer, WritePerfettoTrace).
 //
 // Quick start:
 //
@@ -40,6 +43,7 @@ package perdnn
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"perdnn/internal/core"
@@ -50,6 +54,7 @@ import (
 	"perdnn/internal/gpusim"
 	"perdnn/internal/mobile"
 	"perdnn/internal/mobility"
+	"perdnn/internal/obs/tracing"
 	"perdnn/internal/partition"
 	"perdnn/internal/profile"
 	"perdnn/internal/simnet"
@@ -110,6 +115,7 @@ type options struct {
 	faults   *FaultModel
 	deadline time.Duration
 	window   int
+	tracer   *Tracer
 }
 
 func buildOptions(opts []Option) options {
@@ -145,6 +151,10 @@ func WithUploadWindow(n int) Option { return func(o *options) { o.window = n } }
 // WithDeadline bounds the whole call: the context handed to the operation
 // is canceled after d.
 func WithDeadline(d time.Duration) Option { return func(o *options) { o.deadline = d } }
+
+// WithTracer records a live client's request spans (register, plan fetch,
+// upload units, queries) into t; see NewWallClockTracer.
+func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
 
 // withDeadline applies the deadline option to a context; the returned
 // cancel must always be called.
@@ -405,8 +415,9 @@ func RunSweepContext(ctx context.Context, runs []SweepRun, workers int) []SweepO
 // DialLive connects a live client to a master daemon, retrying transient
 // failures. WithRetryPolicy overrides the client's backoff (taking
 // precedence over cfg.Retry), WithUploadWindow sets the streaming upload's
-// in-flight window, and WithDeadline bounds the registration. Unreachable
-// masters surface errors wrapping ErrMasterDown.
+// in-flight window, WithTracer records the client's request spans, and
+// WithDeadline bounds the registration. Unreachable masters surface errors
+// wrapping ErrMasterDown.
 func DialLive(ctx context.Context, cfg LiveConfig, opts ...Option) (*LiveClient, error) {
 	o := buildOptions(opts)
 	if o.retry != nil {
@@ -414,6 +425,9 @@ func DialLive(ctx context.Context, cfg LiveConfig, opts ...Option) (*LiveClient,
 	}
 	if o.window > 0 {
 		cfg.UploadWindow = o.window
+	}
+	if o.tracer != nil {
+		cfg.Tracer = o.tracer
 	}
 	ctx, cancel := o.withDeadline(ctx)
 	defer cancel()
@@ -437,3 +451,31 @@ func RunSingle(cfg SingleConfig) (*SingleResult, error) { return edgesim.RunSing
 
 // SingleDefaults returns the Fig 1 configuration for a model.
 func SingleDefaults(model ModelName) SingleConfig { return edgesim.DefaultSingleConfig(model) }
+
+// Re-exported distributed-tracing types (internal/obs/tracing). City runs
+// record spans when CityConfig.RecordSpans is set (CityResult.Spans); live
+// clients record through WithTracer / LiveConfig.Tracer.
+type (
+	// Tracer records request-scoped spans; nil is a valid disabled tracer.
+	Tracer = tracing.Tracer
+	// Span is one recorded stage interval of a traced request.
+	Span = tracing.Span
+	// SpanStage names a span kind ("query", "upload.unit", "migrate", ...).
+	SpanStage = tracing.Stage
+)
+
+// NewWallClockTracer returns an enabled tracer stamping spans with wall
+// time since the call — the clock live clients and daemons use.
+func NewWallClockTracer() *Tracer { return tracing.NewWallClock() }
+
+// WriteSpanJournal writes spans as JSONL, one compact object per line in
+// fixed field order (byte-identical for identical span slices).
+func WriteSpanJournal(w io.Writer, spans []Span) error { return tracing.WriteJSONL(w, spans) }
+
+// WritePerfettoTrace writes spans as Chrome trace_event JSON, loadable at
+// ui.perfetto.dev: one named track per node, flow arrows across nodes.
+func WritePerfettoTrace(w io.Writer, spans []Span) error { return tracing.WritePerfetto(w, spans) }
+
+// ValidateSpans checks a span journal's structural invariants (IDs unique,
+// children nested in or following from their parents).
+func ValidateSpans(spans []Span) error { return tracing.Validate(spans) }

@@ -1,6 +1,7 @@
 package perdnn_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net"
@@ -109,6 +110,33 @@ func TestFacadeCityFlow(t *testing.T) {
 	}
 	if _, err := perdnn.GenerateGeolife(); err != nil {
 		t.Fatal(err)
+	}
+
+	// The tracing surface: RecordSpans yields a validating span journal
+	// that serializes to JSONL and Perfetto through the facade.
+	cfg.RecordSpans = true
+	res, err = perdnn.RunCity(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("RecordSpans produced no spans")
+	}
+	if err := perdnn.ValidateSpans(res.Spans); err != nil {
+		t.Errorf("span journal invalid: %v", err)
+	}
+	var jsonl, pft bytes.Buffer
+	if err := perdnn.WriteSpanJournal(&jsonl, res.Spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := perdnn.WritePerfettoTrace(&pft, res.Spans); err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Len() == 0 || pft.Len() == 0 {
+		t.Error("span exports are empty")
+	}
+	if tr := perdnn.NewWallClockTracer(); !tr.Enabled() {
+		t.Error("wall-clock tracer is disabled")
 	}
 }
 
