@@ -51,6 +51,22 @@ type benchReport struct {
 	UploadUnits           int     `json:"uploadUnits"`
 	UploadLockstepSeconds float64 `json:"uploadLockstepSeconds"`
 	UploadWindowedSeconds float64 `json:"uploadWindowedSeconds"`
+	// Pipelined chain partitioning: per model, the simulated steady-state
+	// throughput of the K-hop throughput plan against the best single
+	// split over the same loaded servers.
+	Pipeline []pipelineBench `json:"pipeline"`
+}
+
+// pipelineBench is one model's pipelined-vs-single-split comparison.
+type pipelineBench struct {
+	Model          string  `json:"model"`
+	Slowdown       float64 `json:"slowdown"`
+	MaxHops        int     `json:"maxHops"`
+	PlannedHops    int     `json:"plannedHops"`
+	SingleSplitQPS float64 `json:"singleSplitQps"`
+	ChainQPS       float64 `json:"chainQps"`
+	// ThroughputGain is ChainQPS / SingleSplitQPS.
+	ThroughputGain float64 `json:"throughputGain"`
 }
 
 // measure runs fn under testing.Benchmark and records it.
@@ -176,6 +192,9 @@ func runBenchJSON(path string, quick bool) error {
 	if err := benchUploadThroughput(rep); err != nil {
 		return err
 	}
+	if err := benchPipeline(rep); err != nil {
+		return err
+	}
 	if err := benchCitySim(rep, quick); err != nil {
 		return err
 	}
@@ -193,6 +212,66 @@ func runBenchJSON(path string, quick bool) error {
 	fmt.Printf("\nwrote %s\n", path)
 	for k, v := range rep.Speedups {
 		fmt.Printf("  speedup %-28s %.1fx\n", k, v)
+	}
+	return nil
+}
+
+// benchPipeline compares the K-hop throughput plan against the best single
+// split for every zoo model on loaded servers (slowdown 6 — the regime the
+// paper's Fig 8 contention curves put a busy GPU in), streaming queries
+// through both pipelines and recording simulated steady-state throughput.
+// It also times the chain DP itself per model.
+func benchPipeline(rep *benchReport) error {
+	const (
+		slowdown = 6.0
+		maxHops  = 3
+	)
+	servers := make([]partition.ServerSpec, maxHops)
+	for i := range servers {
+		servers[i] = partition.ServerSpec{ID: i, Slowdown: slowdown}
+	}
+	fmt.Println("pipelined chain partitioning (loaded servers, throughput objective):")
+	for _, name := range dnn.ZooNames() {
+		chainCfg := edgesim.DefaultPipelineConfig(name, servers, maxHops, partition.ObjectiveThroughput)
+		chain, err := edgesim.RunPipeline(chainCfg)
+		if err != nil {
+			return err
+		}
+		singleCfg := edgesim.DefaultPipelineConfig(name, servers, 1, partition.ObjectiveThroughput)
+		single, err := edgesim.RunPipeline(singleCfg)
+		if err != nil {
+			return err
+		}
+		e := pipelineBench{
+			Model:          string(name),
+			Slowdown:       slowdown,
+			MaxHops:        maxHops,
+			PlannedHops:    chain.Plan.NumHops(),
+			SingleSplitQPS: single.Throughput,
+			ChainQPS:       chain.Throughput,
+			ThroughputGain: chain.Throughput / single.Throughput,
+		}
+		rep.Pipeline = append(rep.Pipeline, e)
+		fmt.Printf("  %-36s %6.2f q/s chain (%d hops) vs %6.2f q/s single split (%.2fx)\n",
+			"pipeline/"+string(name), e.ChainQPS, e.PlannedHops, e.SingleSplitQPS, e.ThroughputGain)
+
+		m, err := dnn.ZooModel(name)
+		if err != nil {
+			return err
+		}
+		prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
+		req := partition.ChainRequest{
+			Profile: prof, Link: partition.LabWiFi(),
+			Servers: servers, MaxHops: maxHops, Objective: partition.ObjectiveThroughput,
+		}
+		rep.measure("plan-chain/"+string(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.PlanChain(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 	return nil
 }

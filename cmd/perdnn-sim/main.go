@@ -22,6 +22,12 @@
 // -trace writes a Perfetto-loadable trace of every query, upload, migration
 // and failover (open it at ui.perfetto.dev); -spans writes the same span
 // journal as raw JSONL. Both are deterministic across -parallel.
+//
+// -pipeline switches to the multi-hop chain experiment: for every -model ×
+// -hops cell, -queries inferences stream through the chain the partitioner
+// plans over K identical servers at -slowdown, and the row reports planned
+// hops, bottleneck estimate, and the simulated steady-state throughput.
+// -trace/-spans export the per-query stage spans the same way.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"perdnn/internal/edgesim"
 	"perdnn/internal/obs"
 	"perdnn/internal/obs/tracing"
+	"perdnn/internal/partition"
 	"perdnn/internal/trace"
 )
 
@@ -92,6 +99,11 @@ func run() error {
 	faultOutageProb := flag.Float64("fault-outage-prob", 0, "per-server per-interval outage probability (0 disables outages)")
 	faultOutageIntervals := flag.Int("fault-outage-intervals", 2, "outage length in prediction intervals")
 	faultLinkProb := flag.Float64("fault-link-prob", 0, "per-transfer link fault probability (0 disables link faults)")
+	pipeline := flag.Bool("pipeline", false, "run the pipelined multi-hop chain experiment instead of the city simulation")
+	hops := flag.String("hops", "1,2,3", "pipeline: chain hop budget(s) K (comma-separated)")
+	slowdown := flag.Float64("slowdown", 4, "pipeline: contention slowdown of every candidate server")
+	queries := flag.Int("queries", 64, "pipeline: queries streamed through each chain")
+	objective := flag.String("objective", "throughput", "pipeline: planner objective, latency or throughput")
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -124,6 +136,10 @@ func run() error {
 		radii = append(radii, r)
 	}
 	models := splitList(*model)
+	if *pipeline {
+		return runPipeline(models, splitList(*hops), *slowdown, *queries, *objective, *parallel,
+			exportPaths{trace: *tracePath, spans: *spansPath})
+	}
 	if len(models) == 0 || len(modes) == 0 || len(radii) == 0 {
 		return fmt.Errorf("need at least one model, mode and radius")
 	}
@@ -224,11 +240,8 @@ func writeEvents(path string, outs []edgesim.SweepOutcome) error {
 	return nil
 }
 
-// writeSpans exports the runs' span journals, labelled per cell and
-// concatenated in run order — byte-identical at every -parallel: raw JSONL
-// to spansPath and/or a Perfetto-loadable trace (each cell its own named
-// process) to tracePath. Empty paths skip that format.
-func writeSpans(tracePath, spansPath string, outs []edgesim.SweepOutcome) error {
+// citySpans collects the runs' spans labelled per cell in run order.
+func citySpans(outs []edgesim.SweepOutcome) []tracing.Span {
 	var spans []tracing.Span
 	for _, o := range outs {
 		if o.Err != nil {
@@ -239,6 +252,14 @@ func writeSpans(tracePath, spansPath string, outs []edgesim.SweepOutcome) error 
 			spans = append(spans, sp.WithRun(label))
 		}
 	}
+	return spans
+}
+
+// writeSpans exports a pre-labelled span journal, concatenated in run order
+// — byte-identical at every -parallel: raw JSONL to spansPath and/or a
+// Perfetto-loadable trace (each cell its own named process) to tracePath.
+// Empty paths skip that format.
+func writeSpans(tracePath, spansPath string, spans []tracing.Span) error {
 	write := func(path string, fn func(f *os.File) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -272,6 +293,72 @@ func printCacheStats() {
 		st.Requests(), st.Misses, st.Hits, st.Coalesced, st.HitRatio()*100)
 }
 
+// runPipeline executes the pipelined-chain sweep: for every model × hop
+// budget, a stream of queries runs through the chain partition.PlanChain
+// produced over identical loaded servers, and the row reports the planned
+// hops against the simulated steady-state throughput.
+func runPipeline(models, hops []string, slowdown float64, queries int, objective string, workers int, paths exportPaths) error {
+	var obj partition.Objective
+	switch objective {
+	case "latency":
+		obj = partition.ObjectiveLatency
+	case "throughput":
+		obj = partition.ObjectiveThroughput
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	if len(models) == 0 || len(hops) == 0 {
+		return fmt.Errorf("need at least one model and hop budget")
+	}
+	var cfgs []edgesim.PipelineConfig
+	for _, mn := range models {
+		for _, hs := range hops {
+			k, err := strconv.Atoi(hs)
+			if err != nil || k < 1 {
+				return fmt.Errorf("bad hop budget %q", hs)
+			}
+			servers := make([]partition.ServerSpec, k)
+			for i := range servers {
+				servers[i] = partition.ServerSpec{ID: i, Slowdown: slowdown}
+			}
+			cfg := edgesim.DefaultPipelineConfig(dnn.ModelName(mn), servers, k, obj)
+			cfg.NumQueries = queries
+			cfg.RecordSpans = paths.trace != "" || paths.spans != ""
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	t0 := time.Now()
+	outs := edgesim.RunPipelineSweep(cfgs, workers)
+	fmt.Printf("%d pipeline runs swept in %v (objective %s, slowdown %.1f, %d queries each)\n",
+		len(outs), time.Since(t0).Round(time.Millisecond), obj, slowdown, queries)
+	fmt.Printf("%-10s %3s %5s %14s %14s %12s\n", "model", "K", "hops", "est bottleneck", "observed", "throughput")
+	var spans []tracing.Span
+	for _, o := range outs {
+		if o.Err != nil {
+			fmt.Printf("%-10s %3d  error: %v\n", o.Cfg.Model, o.Cfg.MaxHops, o.Err)
+			continue
+		}
+		res := o.Result
+		fmt.Printf("%-10s %3d %5d %14v %14v %8.2f q/s\n",
+			o.Cfg.Model, o.Cfg.MaxHops, res.Plan.NumHops(),
+			res.Plan.Bottleneck.Round(time.Microsecond),
+			res.ObservedBottleneck.Round(time.Microsecond), res.Throughput)
+		label := fmt.Sprintf("%s|pipeline|k%d", o.Cfg.Model, o.Cfg.MaxHops)
+		for _, sp := range res.Spans {
+			spans = append(spans, sp.WithRun(label))
+		}
+	}
+	if err := writeSpans(paths.trace, paths.spans, spans); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
 // runSweep executes the cross-product sweep concurrently and prints one
 // summary row per cell.
 func runSweep(ctx context.Context, env *edgesim.Env, cfgs []edgesim.CityConfig, workers int, paths exportPaths) error {
@@ -299,7 +386,7 @@ func runSweep(ctx context.Context, env *edgesim.Env, cfgs []edgesim.CityConfig, 
 			return err
 		}
 	}
-	if err := writeSpans(paths.trace, paths.spans, outs); err != nil {
+	if err := writeSpans(paths.trace, paths.spans, citySpans(outs)); err != nil {
 		return err
 	}
 	return edgesim.SweepErr(outs)
@@ -342,7 +429,7 @@ func runOne(ctx context.Context, env *edgesim.Env, cfg edgesim.CityConfig, paths
 			return err
 		}
 	}
-	if err := writeSpans(paths.trace, paths.spans, []edgesim.SweepOutcome{out}); err != nil {
+	if err := writeSpans(paths.trace, paths.spans, citySpans([]edgesim.SweepOutcome{out})); err != nil {
 		return err
 	}
 

@@ -23,27 +23,27 @@ func ExampleLoadModel() {
 	// resnet: 227 layers, 98 MB, 7.73 GFLOPs
 }
 
-// ExamplePartition partitions Inception between the paper's client board
-// and an idle edge server (the option defaults).
-func ExamplePartition() {
+// ExamplePlan partitions Inception between the paper's client board and an
+// idle edge server (the option defaults).
+func ExamplePlan() {
 	m, err := perdnn.LoadModel(perdnn.ModelInception)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	plan, err := perdnn.Partition(perdnn.NewProfile(m))
+	plan, err := perdnn.Plan(perdnn.NewProfile(m))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Println(plan)
+	fmt.Println(plan.Split())
 	// Output:
 	// plan[inception]: 301/301 layers on server, 124.7 MB server-side, est 182ms
 }
 
-// ExamplePartition_contention shows the plan shifting back to the client
-// as the server's GPU gets crowded.
-func ExamplePartition_contention() {
+// ExamplePlan_contention shows the plan shifting back to the client as the
+// server's GPU gets crowded.
+func ExamplePlan_contention() {
 	m, err := perdnn.LoadModel(perdnn.ModelMobileNet)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -51,7 +51,7 @@ func ExamplePartition_contention() {
 	}
 	prof := perdnn.NewProfile(m)
 	for _, slowdown := range []float64{1, 500} {
-		plan, err := perdnn.Partition(prof, perdnn.WithSlowdown(slowdown), perdnn.WithLink(perdnn.LabWiFi()))
+		plan, err := perdnn.Plan(prof, perdnn.WithSlowdown(slowdown), perdnn.WithLink(perdnn.LabWiFi()))
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -64,21 +64,20 @@ func ExamplePartition_contention() {
 	// slowdown 500x: 0/110 layers on server
 }
 
-// ExampleUploadSchedule prints the efficiency-first upload order that makes
-// fractional migration effective.
-func ExampleUploadSchedule() {
+// ExampleOffloadPlan_UploadSchedule prints the efficiency-first upload
+// order that makes fractional migration effective.
+func ExampleOffloadPlan_UploadSchedule() {
 	m, err := perdnn.LoadModel(perdnn.ModelInception)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	prof := perdnn.NewProfile(m)
-	plan, err := perdnn.Partition(prof)
+	plan, err := perdnn.Plan(perdnn.NewProfile(m))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	units, err := perdnn.UploadSchedule(prof, plan)
+	units, err := plan.UploadSchedule()
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -29,21 +29,21 @@ func run() error {
 	fmt.Printf("local:    %v on %s\n", prof.TotalClientTime().Round(time.Millisecond), perdnn.ClientDevice().Name)
 	fmt.Printf("remote:   %v on %s (plus transfers)\n", prof.TotalServerBase().Round(time.Millisecond), perdnn.ServerDevice().Name)
 
-	// Partition at three contention levels: idle server, moderately
-	// loaded, and heavily contended.
+	// Plan at three contention levels: idle server, moderately loaded, and
+	// heavily contended.
 	for _, slowdown := range []float64{1, 4, 40} {
-		plan, err := perdnn.Partition(prof, perdnn.WithSlowdown(slowdown))
+		plan, err := perdnn.Plan(prof, perdnn.WithSlowdown(slowdown))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("slowdown %5.0fx: %v\n", slowdown, plan)
+		fmt.Printf("slowdown %5.0fx: %v\n", slowdown, plan.Split())
 	}
 
-	plan, err := perdnn.Partition(prof) // defaults: idle server, lab Wi-Fi
+	plan, err := perdnn.Plan(prof) // defaults: idle server, lab Wi-Fi
 	if err != nil {
 		return err
 	}
-	units, err := perdnn.UploadSchedule(prof, plan)
+	units, err := plan.UploadSchedule()
 	if err != nil {
 		return err
 	}
@@ -54,6 +54,25 @@ func run() error {
 		fmt.Printf("  unit %d: layers %d..%d, %6.2f MB (cumulative %6.2f MB)\n",
 			i, u.Layers[0], u.Layers[len(u.Layers)-1],
 			float64(u.Bytes)/(1<<20), float64(cum)/(1<<20))
+	}
+
+	// Pipeline the model across a chain of three loaded servers for
+	// throughput: sustained query rate is bounded by the slowest stage, so
+	// splitting the server work across hops beats any single split.
+	chain, err := perdnn.Plan(prof,
+		perdnn.WithObjective(perdnn.ObjectiveThroughput),
+		perdnn.WithMaxHops(3),
+		perdnn.WithServers(
+			perdnn.ServerSpec{ID: 0, Slowdown: 4},
+			perdnn.ServerSpec{ID: 1, Slowdown: 4},
+			perdnn.ServerSpec{ID: 2, Slowdown: 4}))
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npipelined across 3 loaded servers:", chain)
+	for i, hop := range chain.Hops {
+		fmt.Printf("  hop %d on server %d: %d layers, stage %v\n",
+			i, hop.Server.ID, len(hop.Layers), (hop.Transfer + hop.Exec).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -270,6 +270,11 @@ func (s *Server) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 			return ack(errors.New("edged: exec without body"))
 		}
 		return s.exec(req.ExecReq, req.Trace)
+	case wire.MsgForward:
+		if req.Forward == nil || len(req.Forward.Hops) == 0 {
+			return ack(errors.New("edged: forward without hops"))
+		}
+		return s.forward(ctx, req.Forward, req.Trace)
 	case wire.MsgHasRequest:
 		if req.Has == nil {
 			return ack(errors.New("edged: has without body"))
@@ -384,6 +389,63 @@ func (s *Server) exec(r *wire.ExecReq, rc tracing.SpanContext) *wire.Envelope {
 	s.met.Counter("execs_total").Inc()
 	s.met.Histogram("exec_ns").ObserveDuration(exec)
 	return &wire.Envelope{Type: wire.MsgExecResponse, ExecResp: &wire.ExecResp{ExecNs: int64(exec)}}
+}
+
+// forward executes the first hop of a multi-hop pipelined query on this
+// server's GPU, then relays the remaining chain to the next hop and folds
+// the downstream reply into one end-to-end ExecResp, so the client sees a
+// single answer per query. The span context rides the relay (the migrate
+// pattern): the next hop's spans parent under this node's transfer.hop
+// span, chaining every stage under the client's query trace.
+func (s *Server) forward(ctx context.Context, f *wire.Forward, rc tracing.SpanContext) *wire.Envelope {
+	trace, parent := s.traceRoot(rc)
+	hop := f.Hops[0]
+	qStart := s.tr.Now()
+	// Ingress activation transfer, realized against this server's link (the
+	// sender accounts the duration; this side realizes the wall time).
+	s.sleep(time.Duration(float64(hop.InBytes) * 8 / s.cfg.LinkBps * float64(time.Second)))
+	s.gpu.Begin(s.now())
+	cStart := s.tr.Now()
+	s.tr.Record(trace, parent, tracing.StageExecQueue, s.node, qStart, cStart)
+	exec := s.gpu.ExecTime(time.Duration(hop.ServerBaseNs), hop.Intensity, s.now())
+	s.sleep(exec)
+	s.gpu.End()
+	s.tr.Record(trace, parent, tracing.StageExecCompute, s.node, cStart, s.tr.Now())
+	s.met.Counter("execs_total").Inc()
+	s.met.Histogram("exec_ns").ObserveDuration(exec)
+	total := exec
+	if len(f.Hops) > 1 {
+		next := f.Hops[1]
+		// Egress activation transfer edge→edge, priced against this
+		// server's link and realized by the receiving hop.
+		total += time.Duration(float64(next.InBytes) * 8 / s.cfg.LinkBps * float64(time.Second))
+		span := s.tr.NewSpanID()
+		hStart := s.tr.Now()
+		fctx, cancel := context.WithTimeout(ctx, wire.DefaultRecvTimeout)
+		resp, err := s.peers.RoundTrip(fctx, next.Addr, &wire.Envelope{
+			Type:    wire.MsgForward,
+			Forward: &wire.Forward{ClientID: f.ClientID, Hops: f.Hops[1:], DownBytes: f.DownBytes},
+			Trace:   tracing.SpanContext{Trace: trace, Span: span},
+		})
+		cancel()
+		if err != nil {
+			s.met.Counter("forward_failures_total").Inc()
+			return ack(fmt.Errorf("edged: forwarding to %s: %w: %w", next.Addr, core.ErrServerDown, err))
+		}
+		if resp.Type != wire.MsgExecResponse || resp.ExecResp == nil {
+			s.met.Counter("forward_failures_total").Inc()
+			msg := "no ack"
+			if resp.Ack != nil {
+				msg = resp.Ack.Error
+			}
+			return ack(fmt.Errorf("edged: hop %s failed: %s", next.Addr, msg))
+		}
+		total += time.Duration(resp.ExecResp.ExecNs)
+		s.tr.RecordWith(trace, span, parent, tracing.StageTransferHop, s.node, hStart, s.tr.Now())
+	}
+	s.met.Counter("forwards_total").Inc()
+	return &wire.Envelope{Type: wire.MsgExecResponse,
+		ExecResp: &wire.ExecResp{ExecNs: int64(total), OutputBytes: f.DownBytes}}
 }
 
 // has filters the asked layers down to those cached.

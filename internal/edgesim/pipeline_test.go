@@ -1,0 +1,211 @@
+package edgesim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"perdnn/internal/dnn"
+	"perdnn/internal/obs/tracing"
+	"perdnn/internal/partition"
+)
+
+// pipeServers returns n candidate servers at the given slowdown.
+func pipeServers(n int, slowdown float64) []partition.ServerSpec {
+	srv := make([]partition.ServerSpec, n)
+	for i := range srv {
+		srv[i] = partition.ServerSpec{ID: i, Slowdown: slowdown}
+	}
+	return srv
+}
+
+// pipelineCfgs is the sweep the determinism tests run: a mix of models,
+// hop budgets, objectives, and loads, all recording spans.
+func pipelineCfgs() []PipelineConfig {
+	cfgs := []PipelineConfig{
+		DefaultPipelineConfig(dnn.ModelInception, pipeServers(3, 6), 3, partition.ObjectiveThroughput),
+		DefaultPipelineConfig(dnn.ModelInception, pipeServers(1, 6), 1, partition.ObjectiveThroughput),
+		DefaultPipelineConfig(dnn.ModelMobileNet, pipeServers(2, 1), 2, partition.ObjectiveLatency),
+		DefaultPipelineConfig(dnn.ModelResNet, pipeServers(2, 2), 2, partition.ObjectiveThroughput),
+	}
+	cfgs[2].IssueGap = 50 * time.Millisecond
+	for i := range cfgs {
+		cfgs[i].RecordSpans = true
+	}
+	return cfgs
+}
+
+// pipelineSpans runs the sweep at the given worker count and serializes all
+// span buffers as one JSONL stream in run order.
+func pipelineSpans(t *testing.T, workers int) []byte {
+	t.Helper()
+	outs := RunPipelineSweep(pipelineCfgs(), workers)
+	var buf bytes.Buffer
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if err := tracing.WriteJSONL(&buf, o.Result.Spans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPipelineSpanJournalDeterministic: the concatenated span journal of a
+// pipelined sweep is byte-identical at every worker count — the same
+// acceptance contract the city sweep holds.
+func TestPipelineSpanJournalDeterministic(t *testing.T) {
+	seq := pipelineSpans(t, 1)
+	if len(seq) == 0 {
+		t.Fatal("span journal is empty; the sweep recorded no spans")
+	}
+	for _, workers := range []int{2, 8} {
+		par := pipelineSpans(t, workers)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("span journals differ between workers=1 (%d bytes) and workers=%d (%d bytes)",
+				len(seq), workers, len(par))
+		}
+	}
+	// Spans off by default.
+	cfg := pipelineCfgs()[0]
+	cfg.RecordSpans = false
+	res, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans != nil {
+		t.Errorf("RecordSpans=false produced %d spans", len(res.Spans))
+	}
+}
+
+// TestPipelineSpansTileRoot: every span buffer validates and, per query
+// trace, the child stage durations sum exactly to the root query span —
+// queue wait is inside the stage that caused it, so nothing leaks.
+func TestPipelineSpansTileRoot(t *testing.T) {
+	for _, cfg := range pipelineCfgs() {
+		res, err := RunPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tracing.Validate(res.Spans); err != nil {
+			t.Fatalf("%s: span buffer invalid: %v", cfg.Model, err)
+		}
+		type agg struct {
+			root     *tracing.Span
+			children int64
+		}
+		traces := make(map[tracing.TraceID]*agg)
+		for i := range res.Spans {
+			sp := &res.Spans[i]
+			a := traces[sp.Trace]
+			if a == nil {
+				a = &agg{}
+				traces[sp.Trace] = a
+			}
+			if sp.Stage == tracing.StageQuery {
+				a.root = sp
+			} else {
+				a.children += int64(sp.Duration())
+			}
+		}
+		if len(traces) != cfg.NumQueries {
+			t.Fatalf("%s: recorded %d query traces, want %d", cfg.Model, len(traces), cfg.NumQueries)
+		}
+		for id, a := range traces {
+			if a.root == nil {
+				t.Fatalf("%s: trace %d has no root query span", cfg.Model, id)
+			}
+			if got, want := a.children, int64(a.root.Duration()); got != want {
+				t.Errorf("%s: trace %d: child stage durations sum to %dns, root query span is %dns",
+					cfg.Model, id, got, want)
+			}
+		}
+	}
+}
+
+// TestPipelineChainBeatsSingleSplit: on loaded servers the K-hop throughput
+// plan's simulated pipeline throughput beats the best single split — the
+// point of chaining. Also checks the measured rate against the planner's
+// bottleneck estimate: stages model each link and GPU separately, so the
+// simulated rate is at least the estimate's reciprocal.
+func TestPipelineChainBeatsSingleSplit(t *testing.T) {
+	servers := pipeServers(3, 6)
+	chain, err := RunPipeline(DefaultPipelineConfig(dnn.ModelInception, servers, 3, partition.ObjectiveThroughput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := RunPipeline(DefaultPipelineConfig(dnn.ModelInception, servers, 1, partition.ObjectiveThroughput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Plan.NumHops() < 2 {
+		t.Fatalf("throughput plan used %d hops, want >= 2", chain.Plan.NumHops())
+	}
+	if single.Plan.NumHops() != 1 {
+		t.Fatalf("single-split plan used %d hops, want 1", single.Plan.NumHops())
+	}
+	if chain.Throughput <= single.Throughput {
+		t.Errorf("chain throughput %.2f q/s does not beat single split %.2f q/s",
+			chain.Throughput, single.Throughput)
+	}
+	for _, r := range []*PipelineResult{chain, single} {
+		if est := 1 / r.Plan.Bottleneck.Seconds(); r.Throughput < est*0.999 {
+			t.Errorf("%d hops: simulated throughput %.3f q/s below bottleneck estimate %.3f q/s",
+				r.Plan.NumHops(), r.Throughput, est)
+		}
+	}
+	// Saturated pipelining trades per-query latency for rate: the chain's
+	// completions must be spaced tighter than the single split's.
+	if chain.ObservedBottleneck >= single.ObservedBottleneck {
+		t.Errorf("chain completion spacing %v not tighter than single split %v",
+			chain.ObservedBottleneck, single.ObservedBottleneck)
+	}
+}
+
+// TestPipelinePacedMatchesLatency: with an issue gap longer than every
+// stage, queries never queue, so each query's latency equals the plan's
+// end-to-end estimate and throughput is gap-limited.
+func TestPipelinePacedMatchesLatency(t *testing.T) {
+	cfg := DefaultPipelineConfig(dnn.ModelMobileNet, pipeServers(2, 1), 2, partition.ObjectiveLatency)
+	cfg.IssueGap = 5 * time.Second
+	cfg.NumQueries = 8
+	res, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.SumLatency / time.Duration(cfg.NumQueries)
+	if per != res.Plan.EstLatency {
+		t.Errorf("paced per-query latency %v != plan estimate %v", per, res.Plan.EstLatency)
+	}
+}
+
+// BenchmarkRunPipeline covers the pipelined mode in the bench smoke: plan
+// a 3-hop chain and stream 64 queries through it.
+func BenchmarkRunPipeline(b *testing.B) {
+	cfg := DefaultPipelineConfig(dnn.ModelInception, pipeServers(3, 6), 3, partition.ObjectiveThroughput)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPipeline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPipelineRejectsBadConfig covers the config validation.
+func TestPipelineRejectsBadConfig(t *testing.T) {
+	cfg := DefaultPipelineConfig(dnn.ModelMobileNet, pipeServers(1, 1), 1, partition.ObjectiveLatency)
+	cfg.NumQueries = 0
+	if _, err := RunPipeline(cfg); err == nil {
+		t.Error("zero queries accepted")
+	}
+	cfg = DefaultPipelineConfig(dnn.ModelMobileNet, pipeServers(1, 1), 1, partition.ObjectiveLatency)
+	cfg.IssueGap = -time.Second
+	if _, err := RunPipeline(cfg); err == nil {
+		t.Error("negative issue gap accepted")
+	}
+	cfg = DefaultPipelineConfig(dnn.ModelName("nonesuch"), pipeServers(1, 1), 1, partition.ObjectiveLatency)
+	if _, err := RunPipeline(cfg); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

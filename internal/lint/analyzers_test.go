@@ -45,6 +45,16 @@ func TestObsJournalSpans(t *testing.T) {
 	RunFixture(t, fixtureRoot, ObsJournal, "spanuser")
 }
 
+func TestFacadeOpts(t *testing.T) {
+	RunFixture(t, fixtureRoot, FacadeOpts, "perdnn")
+}
+
+func TestFacadeOptsIgnoresOtherPackages(t *testing.T) {
+	// The notsim fixture is not the facade package, so the analyzer stays
+	// silent regardless of its signatures.
+	RunFixture(t, fixtureRoot, FacadeOpts, "notsim")
+}
+
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FacadeOpts enforces the public facade's options discipline: an exported
+// entry point in the root perdnn package must not grow positional tuning
+// parameters — bare scalars like slowdowns, hop budgets, deadlines, and
+// feature booleans — because every such parameter is a breaking change
+// waiting to happen and reads as noise at call sites ("what is the second
+// 3?"). Tuning knobs travel as functional options (WithSlowdown,
+// WithMaxHops, ...) on a trailing ...Option, which is what keeps Plan a
+// single stable entry point. One bare scalar is allowed: a function whose
+// subject IS a number (TrainEstimator(seed)) is fine; two or more means a
+// knob bag is forming. Named types (ModelName, Objective) are
+// self-documenting and do not count.
+var FacadeOpts = &Analyzer{
+	Name: "facadeopts",
+	Doc:  "facade entry points take ...Option, not positional tuning scalars",
+	Run:  runFacadeOpts,
+}
+
+func runFacadeOpts(pass *Pass) error {
+	if pass.Pkg.Path() != facadePath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := funcSig(fn)
+			params := sig.Params()
+			if sig.Variadic() && params.Len() > 0 && isOptionSlice(params.At(params.Len()-1).Type()) {
+				continue
+			}
+			n := 0
+			for i := 0; i < params.Len(); i++ {
+				if isTuningScalar(params.At(i).Type()) {
+					n++
+				}
+			}
+			if n >= 2 {
+				pass.Reportf(fd.Name.Pos(),
+					"exported facade function %s takes %d positional tuning parameters; take a trailing ...Option (With...) instead",
+					fd.Name.Name, n)
+			}
+		}
+	}
+	return nil
+}
+
+// isOptionSlice reports whether t is []Option of the facade package — the
+// type a trailing ...Option parameter has.
+func isOptionSlice(t types.Type) bool {
+	s, ok := types.Unalias(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamed(s.Elem(), facadePath, "Option")
+}
+
+// isTuningScalar reports whether a parameter type is a bare tuning scalar:
+// an unnamed numeric or boolean basic type, or time.Duration. Named types
+// (ModelName, Objective, geo.ServerID, ...) carry their meaning in the
+// signature and are exempt.
+func isTuningScalar(t types.Type) bool {
+	if isNamed(t, "time", "Duration") {
+		return true
+	}
+	b, ok := types.Unalias(t).(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsNumeric|types.IsBoolean) != 0
+}

@@ -190,6 +190,7 @@ func All() []*Analyzer {
 		CtxFlow,
 		EnvMutate,
 		ObsJournal,
+		FacadeOpts,
 	}
 }
 

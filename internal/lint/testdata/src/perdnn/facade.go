@@ -1,0 +1,53 @@
+// Package perdnn is the facadeopts fixture: a stub of the public facade
+// mixing conforming entry points with knob-bag signatures the analyzer
+// must flag.
+package perdnn
+
+import "time"
+
+type options struct {
+	slowdown float64
+	maxHops  int
+}
+
+// Option configures a facade call.
+type Option func(*options)
+
+// WithSlowdown is the sanctioned way to pass a tuning scalar. Option
+// constructors themselves take one scalar each; that is the point.
+func WithSlowdown(s float64) Option { return func(o *options) { o.slowdown = s } }
+
+// WithMaxHops caps the chain length.
+func WithMaxHops(k int) Option { return func(o *options) { o.maxHops = k } }
+
+// ModelProfile stands in for the real profile type.
+type ModelProfile struct{}
+
+// ModelName is a named type: it documents itself in a signature and never
+// counts as a bare tuning scalar.
+type ModelName string
+
+// Objective is a named enum; also exempt.
+type Objective int
+
+// Plan is the conforming shape: subject first, knobs as options.
+func Plan(prof *ModelProfile, opts ...Option) error { return nil }
+
+// TrainEstimator takes one scalar whose meaning IS the function's subject;
+// a single scalar is allowed.
+func TrainEstimator(seed int64) error { return nil }
+
+// CityDefaults mixes named types with one scalar; still fine.
+func CityDefaults(model ModelName, obj Objective, radius float64) error { return nil }
+
+// PartitionAt grew two positional knobs instead of options.
+func PartitionAt(prof *ModelProfile, slowdown float64, maxHops int) error { return nil } // want "2 positional tuning parameters"
+
+// RunLoaded stacks a duration and booleans — a knob bag.
+func RunLoaded(prof *ModelProfile, deadline time.Duration, retry bool, cache bool) error { return nil } // want "3 positional tuning parameters"
+
+// sweep is unexported: internal helpers may take whatever they want.
+func sweep(workers int, shuffle bool) {}
+
+// Tune is a method, not a facade entry point.
+func (o *options) Tune(a int, b float64) {}

@@ -12,6 +12,7 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,6 +48,16 @@ type Config struct {
 	HistoryLen int
 	// Link prices client-edge transfers inside plans.
 	Link partition.Link
+	// MaxHops enables multi-hop pipelined planning: plan responses carry a
+	// server chain of up to MaxHops stages assembled from the reachable
+	// edges (the requested server first, the rest in ID order), alongside
+	// the single-split fields that remain the failover plan. <= 1 keeps the
+	// classic single-split behavior.
+	MaxHops int
+	// Objective selects what multi-hop plans optimize: latency (default)
+	// or pipeline throughput (bottleneck-stage minimization). Ignored when
+	// MaxHops <= 1.
+	Objective partition.Objective
 	// EstimatorSeed seeds the offline estimator training.
 	EstimatorSeed int64
 	// Estimator, when non-nil, is used instead of training one at startup
@@ -485,10 +496,83 @@ func (m *Master) plan(ctx context.Context, r *wire.PlanReq) (*wire.PlanResp, err
 		copy(ids, u.Layers)
 		units = append(units, ids)
 	}
-	return &wire.PlanResp{
+	resp := &wire.PlanResp{
 		ServerLayers: entry.Plan.ServerLayers(),
 		UploadOrder:  units,
 		Slowdown:     entry.Plan.Slowdown,
 		EstLatencyNs: int64(entry.Plan.EstLatency),
-	}, nil
+	}
+	if m.cfg.MaxHops > 1 {
+		// Chain planning is best-effort: any failure (unreachable edges,
+		// partitioner error) degrades to the single-split fields above,
+		// which double as the client's failover plan either way.
+		chain, err := m.planChain(ctx, r.Server, planner)
+		switch {
+		case err != nil:
+			m.met.Counter("chain_plan_errors_total").Inc()
+			m.log.Warn("chain planning failed; serving single split", "client", r.ClientID, "err", err)
+		case chain.NumHops() >= 2:
+			resp.Chain = make([]wire.PlanHop, 0, chain.NumHops())
+			for i := range chain.Hops {
+				hop := &chain.Hops[i]
+				resp.Chain = append(resp.Chain, wire.PlanHop{
+					Server:       geo.ServerID(hop.Server.ID),
+					Addr:         hop.Server.Addr,
+					ServerBaseNs: int64(hop.BaseExec),
+					Intensity:    hop.Intensity,
+					InBytes:      hop.InBytes,
+				})
+			}
+			resp.ChainDownBytes = chain.DownBytes
+			resp.ChainClientPreNs = int64(chain.ClientPre)
+			resp.ChainClientPostNs = int64(chain.ClientPost)
+			m.met.Counter("chain_plans_total").Inc()
+		}
+	}
+	return resp, nil
+}
+
+// planChain assembles the candidate chain — the requested server first,
+// every other reachable edge after it in ID order — with per-candidate
+// slowdowns from live GPU stats, and runs the multi-hop partitioner.
+// Unreachable edges are skipped, so a broken chain degrades to whatever
+// subsequence still answers.
+func (m *Master) planChain(ctx context.Context, first geo.ServerID, planner *core.Planner) (*partition.ChainPlan, error) {
+	specs := make([]partition.ServerSpec, 0, len(m.edgesByID))
+	add := func(info EdgeInfo) {
+		st, err := m.pingStats(ctx, info.Addr)
+		if err != nil {
+			m.met.Counter("chain_candidate_skips_total").Inc()
+			m.log.Warn("chain candidate unreachable", "server", int(info.ID), "err", err)
+			return
+		}
+		specs = append(specs, partition.ServerSpec{
+			ID:       int(info.ID),
+			Addr:     info.Addr,
+			Slowdown: planner.Slowdown(*st),
+		})
+	}
+	if info, ok := m.edgesByID[first]; ok {
+		add(info)
+	}
+	rest := make([]geo.ServerID, 0, len(m.edgesByID))
+	for id := range m.edgesByID {
+		if id != first {
+			rest = append(rest, id)
+		}
+	}
+	sort.Slice(rest, func(i, k int) bool { return rest[i] < rest[k] })
+	for _, id := range rest {
+		add(m.edgesByID[id])
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("master: no reachable chain candidates: %w", core.ErrServerDown)
+	}
+	return partition.PlanChain(partition.ChainRequest{
+		Profile:   planner.Profile(),
+		Link:      planner.Link(),
+		Servers:   specs,
+		MaxHops:   m.cfg.MaxHops,
+		Objective: m.cfg.Objective,
+	})
 }

@@ -84,6 +84,10 @@ type Client struct {
 	uploaded  map[dnn.LayerID]bool
 	split     partition.Split
 	planReady bool
+	// chainBroken latches after a multi-hop query fails mid-chain: later
+	// queries degrade to the plan's single-split fields until the next
+	// ConnectContext fetches a fresh plan.
+	chainBroken bool
 
 	// Current upload trace: unit spans parent to the plan-fetch span.
 	upTrace tracing.TraceID
@@ -333,6 +337,7 @@ func (c *Client) ConnectContext(ctx context.Context, server geo.ServerID, edgeAd
 	// is overwritten by the next exchange; the plan outlives it.
 	c.plan = resp.PlanResp.Clone()
 	c.planReady = true
+	c.chainBroken = false
 	c.uploaded = make(map[dnn.LayerID]bool, c.model.NumLayers())
 
 	// Dial and learn which plan layers the edge already caches (hit/miss
@@ -369,6 +374,19 @@ func (c *Client) ServerLayers() []dnn.LayerID {
 	copy(out, c.plan.ServerLayers)
 	return out
 }
+
+// Chain returns a copy of the current plan's multi-hop chain (empty for
+// single-split plans or before a plan is fetched).
+func (c *Client) Chain() []wire.PlanHop {
+	if !c.planReady {
+		return nil
+	}
+	return append([]wire.PlanHop(nil), c.plan.Chain...)
+}
+
+// ChainActive reports whether queries currently ride a multi-hop chain
+// (false once a mid-chain failure latched the degrade to single-split).
+func (c *Client) ChainActive() bool { return c.chainUsable() }
 
 // CacheState reports how many of the plan's server-side layers are already
 // available at the edge versus the total — all present is the paper's
@@ -603,6 +621,13 @@ func (c *Client) recomputeSplit() {
 // core.ErrLocalFallback — callers that accept degraded service check
 // errors.Is(err, core.ErrLocalFallback) and use the result.
 func (c *Client) QueryContext(ctx context.Context) (time.Duration, error) {
+	if c.chainUsable() {
+		lat, handled, err := c.chainQuery(ctx)
+		if handled {
+			return lat, err
+		}
+		// The chain broke mid-query; degrade to the single-split plan below.
+	}
 	sp := c.split
 	// One trace per query; its context rides the exec request so the
 	// edge's queue/compute spans parent to the client's root span.
@@ -651,6 +676,78 @@ func (c *Client) QueryContext(ctx context.Context) (time.Duration, error) {
 func (c *Client) Query() (time.Duration, error) {
 	//perdnn:vet-ignore ctxflow deprecated compatibility shim supplies the root context
 	return c.QueryContext(context.Background())
+}
+
+// chainUsable reports whether queries should ride the plan's multi-hop
+// chain: the plan carries one, no earlier query broke it, and the chain
+// starts at the edge this client is attached to (the master builds it that
+// way; a reordered chain after a head failure falls back to single-split).
+func (c *Client) chainUsable() bool {
+	return c.planReady && !c.chainBroken && len(c.plan.Chain) >= 2 &&
+		c.edgeAddr != "" && c.plan.Chain[0].Addr == c.edgeAddr
+}
+
+// chainQuery runs one inference through the multi-hop chain: the client
+// prefix locally, then a single MsgForward carrying every hop to the first
+// edge server, which executes its stage and relays the rest; the reply
+// folds the whole chain's time into one answer. handled is false when the
+// chain failed mid-query — the chain is latched broken and the caller
+// degrades to the plan's single-split fields (the failover plan).
+func (c *Client) chainQuery(ctx context.Context) (lat time.Duration, handled bool, err error) {
+	// One trace per query; the context rides the forward frame, so every
+	// hop's spans chain back under this root.
+	qt := c.tr.NewTrace()
+	root := c.tr.NewSpanID()
+	qStart := c.tr.Now()
+	pre := time.Duration(c.plan.ChainClientPreNs)
+	if c.cfg.TimeScale > 0 && pre > 0 {
+		time.Sleep(time.Duration(float64(pre) * c.cfg.TimeScale))
+	}
+	c.tr.Record(qt, root, tracing.StageClientCompute, c.node, qStart, c.tr.Now())
+	hops := make([]wire.ForwardHop, len(c.plan.Chain))
+	for i, h := range c.plan.Chain {
+		hops[i] = wire.ForwardHop{Addr: h.Addr, ServerBaseNs: h.ServerBaseNs,
+			Intensity: h.Intensity, InBytes: h.InBytes}
+	}
+	resp, err := c.edgeRoundTrip(ctx, &wire.Envelope{
+		Type:    wire.MsgForward,
+		Forward: &wire.Forward{ClientID: c.cfg.ID, Hops: hops, DownBytes: c.plan.ChainDownBytes},
+		Trace:   tracing.SpanContext{Trace: qt, Span: root},
+	})
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return 0, true, fmt.Errorf("mobile: query: %w", err)
+	}
+	if err != nil || resp.Type != wire.MsgExecResponse || resp.ExecResp == nil {
+		// Transport failure, or a hop's error ack (a dead downstream
+		// server): latch the chain broken and let the caller degrade.
+		if err == nil {
+			err = fmt.Errorf("mobile: chain rejected: %s", ackError(resp))
+		}
+		c.chainBroken = true
+		c.met.Counter("chain_failovers_total").Inc()
+		fbNow := c.tr.Now()
+		c.tr.Record(qt, root, tracing.StageFailover, c.node, fbNow, fbNow)
+		c.tr.RecordWith(qt, root, 0, tracing.StageQuery, c.node, qStart, c.tr.Now())
+		c.log.Warn("chain query degraded to single split", "err", err)
+		return 0, false, nil
+	}
+	post := time.Duration(c.plan.ChainClientPostNs)
+	if post > 0 {
+		postStart := c.tr.Now()
+		if c.cfg.TimeScale > 0 {
+			time.Sleep(time.Duration(float64(post) * c.cfg.TimeScale))
+		}
+		c.tr.Record(qt, root, tracing.StageClientCompute, c.node, postStart, c.tr.Now())
+	}
+	link := partition.LabWiFi()
+	total := pre + link.UpTime(c.plan.Chain[0].InBytes) +
+		time.Duration(resp.ExecResp.ExecNs) +
+		link.DownTime(c.plan.ChainDownBytes) + post
+	c.tr.RecordWith(qt, root, 0, tracing.StageQuery, c.node, qStart, c.tr.Now())
+	c.met.Counter("queries_total").Inc()
+	c.met.Counter("chain_queries_total").Inc()
+	c.met.Histogram("query_latency_ns").ObserveDuration(total)
+	return total, true, nil
 }
 
 // localFallback completes a query on the client alone after the edge went

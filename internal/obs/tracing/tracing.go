@@ -79,6 +79,9 @@ const (
 	StageTransferUp Stage = "transfer.up"
 	// StageTransferDown: the query's output tensor moving edge→client.
 	StageTransferDown Stage = "transfer.down"
+	// StageTransferHop: an activation tensor moving edge→edge between two
+	// stages of a multi-hop pipelined plan.
+	StageTransferHop Stage = "transfer.hop"
 )
 
 // Span is one recorded stage interval. Spans with End == Start are

@@ -129,6 +129,17 @@ func appendEnvelopeBody(dst []byte, e *Envelope) ([]byte, error) {
 		}
 		dst = appendFloat(dst, p.Slowdown)
 		dst = appendVarint(dst, p.EstLatencyNs)
+		dst = appendUvarint(dst, uint64(len(p.Chain)))
+		for _, h := range p.Chain {
+			dst = appendVarint(dst, int64(h.Server))
+			dst = appendString(dst, h.Addr)
+			dst = appendVarint(dst, h.ServerBaseNs)
+			dst = appendFloat(dst, h.Intensity)
+			dst = appendVarint(dst, h.InBytes)
+		}
+		dst = appendVarint(dst, p.ChainDownBytes)
+		dst = appendVarint(dst, p.ChainClientPreNs)
+		dst = appendVarint(dst, p.ChainClientPostNs)
 	case MsgStatsRequest, MsgStatsResponse:
 		if e.Stats == nil {
 			return append(dst, 0), nil
@@ -196,6 +207,21 @@ func appendEnvelopeBody(dst []byte, e *Envelope) ([]byte, error) {
 		dst = appendBool(dst, e.Ack.OK)
 		dst = appendString(dst, e.Ack.Error)
 		dst = appendVarint(dst, e.Ack.Seq)
+	case MsgForward:
+		if e.Forward == nil {
+			return append(dst, 0), nil
+		}
+		f := e.Forward
+		dst = append(dst, 1)
+		dst = appendVarint(dst, int64(f.ClientID))
+		dst = appendUvarint(dst, uint64(len(f.Hops)))
+		for _, h := range f.Hops {
+			dst = appendString(dst, h.Addr)
+			dst = appendVarint(dst, h.ServerBaseNs)
+			dst = appendFloat(dst, h.Intensity)
+			dst = appendVarint(dst, h.InBytes)
+		}
+		dst = appendVarint(dst, f.DownBytes)
 	default:
 		return dst, fmt.Errorf("unknown message type %d", e.Type)
 	}
@@ -221,6 +247,7 @@ type recvScratch struct {
 	execResp   ExecResp
 	has        Has
 	ack        Ack
+	forward    Forward
 
 	points       []geo.Point
 	migrateIDs   []dnn.LayerID
@@ -228,6 +255,8 @@ type recvScratch struct {
 	hasIDs       []dnn.LayerID
 	serverLayers []dnn.LayerID
 	uploadOrder  [][]dnn.LayerID
+	planHops     []PlanHop
+	fwdHops      []ForwardHop
 
 	modelMemo string
 	peerMemo  string
@@ -364,6 +393,44 @@ func (d *decoder) points(dst []geo.Point) []geo.Point {
 	return dst
 }
 
+// planHops decodes a chain hop list into dst, reusing its backing array.
+// Each retained hop's Addr doubles as its own string memo, so a stable
+// chain decodes without reallocating addresses. Minimum encoded size per
+// hop: Server(1) + Addr len(1) + ServerBaseNs(1) + Intensity(8) + InBytes(1).
+func (d *decoder) planHops(dst []PlanHop) []PlanHop {
+	n := d.count(12)
+	if n <= cap(dst) {
+		dst = dst[:n]
+	} else {
+		dst = append(dst[:cap(dst)], make([]PlanHop, n-cap(dst))...)
+	}
+	for i := range dst {
+		dst[i].Server = geo.ServerID(d.varint())
+		dst[i].Addr = d.string(&dst[i].Addr)
+		dst[i].ServerBaseNs = d.varint()
+		dst[i].Intensity = d.float()
+		dst[i].InBytes = d.varint()
+	}
+	return dst
+}
+
+// forwardHops is planHops for the Forward body (no server ID field).
+func (d *decoder) forwardHops(dst []ForwardHop) []ForwardHop {
+	n := d.count(11)
+	if n <= cap(dst) {
+		dst = dst[:n]
+	} else {
+		dst = append(dst[:cap(dst)], make([]ForwardHop, n-cap(dst))...)
+	}
+	for i := range dst {
+		dst[i].Addr = d.string(&dst[i].Addr)
+		dst[i].ServerBaseNs = d.varint()
+		dst[i].Intensity = d.float()
+		dst[i].InBytes = d.varint()
+	}
+	return dst
+}
+
 func (d *decoder) layerUnits(dst [][]dnn.LayerID) [][]dnn.LayerID {
 	n := d.count(1)
 	if n <= cap(dst) {
@@ -411,6 +478,11 @@ func decodeEnvelope(payload []byte, t MsgType, env *Envelope, s *recvScratch) er
 				Slowdown:     d.float(),
 				EstLatencyNs: d.varint(),
 			}
+			s.planHops = d.planHops(s.planHops)
+			s.planResp.Chain = s.planHops
+			s.planResp.ChainDownBytes = d.varint()
+			s.planResp.ChainClientPreNs = d.varint()
+			s.planResp.ChainClientPostNs = d.varint()
 			env.PlanResp = &s.planResp
 		case MsgStatsRequest, MsgStatsResponse:
 			s.stats.Sample = nil
@@ -458,6 +530,12 @@ func decodeEnvelope(payload []byte, t MsgType, env *Envelope, s *recvScratch) er
 		case MsgAck, MsgUploadAck:
 			s.ack = Ack{OK: d.bool(), Error: d.string(&s.errMemo), Seq: d.varint()}
 			env.Ack = &s.ack
+		case MsgForward:
+			s.forward.ClientID = int(d.varint())
+			s.fwdHops = d.forwardHops(s.fwdHops)
+			s.forward.Hops = s.fwdHops
+			s.forward.DownBytes = d.varint()
+			env.Forward = &s.forward
 		}
 	}
 	// Optional trace tail. Absent bytes mean "no context" (frames from

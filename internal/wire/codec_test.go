@@ -75,6 +75,34 @@ func goldenEnvelopes() []struct {
 			Upload: &Upload{ClientID: 9, Layers: []dnn.LayerID{11}, Bytes: 4096, Seq: 5}}},
 		{"register-traced-nil-body", &Envelope{Type: MsgRegister,
 			Trace: tracing.SpanContext{Trace: 1 << 40, Span: 3}}},
+		// v3 additions: multi-hop chains. The plan-response chain tail and
+		// MsgForward are part of the version-3 format.
+		{"plan-response-chain", &Envelope{Type: MsgPlanResponse, PlanResp: &PlanResp{
+			ServerLayers: []dnn.LayerID{0, 1, 2, 3},
+			UploadOrder:  [][]dnn.LayerID{{0, 1}, {2, 3}},
+			Slowdown:     2.5,
+			EstLatencyNs: 98765432,
+			Chain: []PlanHop{
+				{Server: 1, Addr: "10.0.0.2:7101", ServerBaseNs: 4_000_000, Intensity: 0.4, InBytes: 150528},
+				{Server: 3, Addr: "10.0.0.4:7101", ServerBaseNs: 6_500_000, Intensity: 0.2, InBytes: 40000},
+			},
+			ChainDownBytes:    4000,
+			ChainClientPreNs:  2_000_000,
+			ChainClientPostNs: 500_000,
+		}}},
+		{"forward", &Envelope{Type: MsgForward, Forward: &Forward{
+			ClientID: 9,
+			Hops: []ForwardHop{
+				{Addr: "10.0.0.2:7101", ServerBaseNs: 4_000_000, Intensity: 0.4, InBytes: 150528},
+				{Addr: "10.0.0.4:7101", ServerBaseNs: 6_500_000, Intensity: 0.2, InBytes: 40000},
+			},
+			DownBytes: 4000,
+		}}},
+		{"forward-traced", &Envelope{Type: MsgForward,
+			Trace: tracing.SpanContext{Trace: 99, Span: 4321},
+			Forward: &Forward{ClientID: 9, DownBytes: 16,
+				Hops: []ForwardHop{{Addr: "127.0.0.1:7102", ServerBaseNs: 1000, Intensity: 0.1, InBytes: 64}}}}},
+		{"forward-nil-body", &Envelope{Type: MsgForward}},
 	}
 }
 

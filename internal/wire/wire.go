@@ -73,17 +73,23 @@ const (
 	// MsgUploadUnit, cumulatively acknowledged by MsgUploadAck.
 	MsgUploadUnit
 	MsgUploadAck
+	// Multi-hop activation forwarding (client -> edge, edge -> edge): the
+	// receiving server executes Hops[0] and forwards the remainder of the
+	// chain to Hops[1].Addr, answering with MsgExecResponse once the
+	// downstream reply arrives.
+	MsgForward
 
 	// maxMsgType bounds the valid type range for frame validation.
-	maxMsgType = MsgUploadAck
+	maxMsgType = MsgForward
 )
 
 // Protocol framing parameters.
 const (
 	// ProtoVersion is the wire format version carried by every frame.
 	// Version 1 was the gob protocol (implicit, never tagged); version 2
-	// is the binary framing this package implements.
-	ProtoVersion byte = 2
+	// was the initial binary framing; version 3 extends PlanResp with the
+	// multi-hop chain tail and adds MsgForward.
+	ProtoVersion byte = 3
 	// headerLen is version(1) + type(1) + payload length(4).
 	headerLen = 6
 	// MaxFrameBytes bounds a frame's payload; larger length prefixes are
@@ -133,6 +139,7 @@ type Envelope struct {
 	ExecResp   *ExecResp
 	Has        *Has
 	Ack        *Ack
+	Forward    *Forward
 }
 
 // Register announces a client and its model to the master. The model is
@@ -163,16 +170,42 @@ type PlanReq struct {
 }
 
 // PlanResp carries a partitioning plan: the server-side layer IDs in upload
-// order plus the estimate it was derived from.
+// order plus the estimate it was derived from. A multi-hop plan additionally
+// carries the server chain; Chain empty means classic single-split offload.
 //
 // Encoding: ServerLayers id-list, UploadOrder unit count uvarint then one
-// id-list per unit, Slowdown float64, EstLatencyNs varint. (An id-list is a
+// id-list per unit, Slowdown float64, EstLatencyNs varint, chain hop count
+// uvarint then one PlanHop per hop (Server varint, Addr string, ServerBaseNs
+// varint, Intensity float64, InBytes varint), ChainDownBytes varint,
+// ChainClientPreNs varint, ChainClientPostNs varint. (An id-list is a
 // uvarint count followed by varint layer IDs.)
 type PlanResp struct {
 	ServerLayers []dnn.LayerID
 	UploadOrder  [][]dnn.LayerID // schedule units, highest efficiency first
 	Slowdown     float64
 	EstLatencyNs int64
+	// Chain is the pipelined multi-hop assignment, in execution order;
+	// empty for single-split plans. ChainDownBytes is the final output
+	// activation size shipped back to the client from the last hop;
+	// ChainClientPreNs/ChainClientPostNs are the client-local prefix and
+	// suffix work bracketing the chain.
+	Chain             []PlanHop
+	ChainDownBytes    int64
+	ChainClientPreNs  int64
+	ChainClientPostNs int64
+}
+
+// PlanHop is one stage of a multi-hop plan: which server runs it, where to
+// reach that server, and the stage's contention-free cost model.
+type PlanHop struct {
+	Server geo.ServerID
+	Addr   string
+	// ServerBaseNs is the contention-free execution time of this hop's
+	// layers; Intensity their memory intensity; InBytes the activation
+	// payload entering the hop.
+	ServerBaseNs int64
+	Intensity    float64
+	InBytes      int64
 }
 
 // Clone returns a deep copy the caller owns, detached from any Conn
@@ -181,13 +214,17 @@ func (p *PlanResp) Clone() *PlanResp {
 	if p == nil {
 		return nil
 	}
-	out := &PlanResp{Slowdown: p.Slowdown, EstLatencyNs: p.EstLatencyNs}
+	out := &PlanResp{Slowdown: p.Slowdown, EstLatencyNs: p.EstLatencyNs,
+		ChainDownBytes: p.ChainDownBytes, ChainClientPreNs: p.ChainClientPreNs, ChainClientPostNs: p.ChainClientPostNs}
 	out.ServerLayers = append([]dnn.LayerID(nil), p.ServerLayers...)
 	if p.UploadOrder != nil {
 		out.UploadOrder = make([][]dnn.LayerID, len(p.UploadOrder))
 		for i, u := range p.UploadOrder {
 			out.UploadOrder[i] = append([]dnn.LayerID(nil), u...)
 		}
+	}
+	if p.Chain != nil {
+		out.Chain = append([]PlanHop(nil), p.Chain...)
 	}
 	return out
 }
@@ -259,6 +296,35 @@ type Has struct {
 	Layers   []dnn.LayerID
 }
 
+// Forward asks an edge server to execute one stage of a multi-hop query and
+// relay the rest of the chain. Hops[0] is the receiving server's own work;
+// Hops[1:] are forwarded onward to Hops[1].Addr. The server replies with
+// MsgExecResponse covering its own stage plus everything downstream, so the
+// client sees one end-to-end answer per query.
+//
+// Encoding: ClientID varint, hop count uvarint then one ForwardHop per hop
+// (Addr string, ServerBaseNs varint, Intensity float64, InBytes varint),
+// DownBytes varint.
+type Forward struct {
+	ClientID int
+	Hops     []ForwardHop
+	// DownBytes is the final output activation size the last hop reports
+	// back up the chain (transfer realized client-side against its link).
+	DownBytes int64
+}
+
+// ForwardHop is one remaining stage of a forwarded chain.
+type ForwardHop struct {
+	Addr string
+	// ServerBaseNs is the contention-free execution time of the hop's
+	// layers; Intensity their memory intensity; InBytes the activation
+	// payload entering the hop (transfer realized by the receiving server
+	// against its link model).
+	ServerBaseNs int64
+	Intensity    float64
+	InBytes      int64
+}
+
 // Ack is a generic success/failure reply.
 //
 // Encoding: OK byte, Error string, Seq varint.
@@ -326,6 +392,11 @@ func (e *Envelope) Clone() *Envelope {
 	if e.Ack != nil {
 		v := *e.Ack
 		out.Ack = &v
+	}
+	if e.Forward != nil {
+		v := *e.Forward
+		v.Hops = append([]ForwardHop(nil), e.Forward.Hops...)
+		out.Forward = &v
 	}
 	return out
 }

@@ -31,8 +31,20 @@
 //
 //	model, _ := perdnn.LoadModel(perdnn.ModelInception)
 //	prof := perdnn.NewProfile(model)
-//	plan, _ := perdnn.Partition(prof) // defaults: no contention, lab Wi-Fi
-//	fmt.Println(plan) // which layers run where, and the expected latency
+//	plan, _ := perdnn.Plan(prof) // defaults: one idle server, lab Wi-Fi
+//	fmt.Println(plan.Split())    // which layers run where, and the latency
+//	sched, _ := plan.UploadSchedule()
+//
+// Multi-hop pipelines split the model across a chain of edge servers:
+//
+//	plan, _ := perdnn.Plan(prof,
+//		perdnn.WithObjective(perdnn.ObjectiveThroughput),
+//		perdnn.WithMaxHops(3),
+//		perdnn.WithServers(
+//			perdnn.ServerSpec{ID: 0, Slowdown: 4},
+//			perdnn.ServerSpec{ID: 1, Slowdown: 4},
+//			perdnn.ServerSpec{ID: 2, Slowdown: 4}))
+//	fmt.Println(plan) // hops, bottleneck stage, estimated latency
 //
 // Long-running entry points have context-first variants (RunCityContext,
 // RunSweepContext, DialLive) and accept functional options (WithSlowdown,
@@ -109,17 +121,21 @@ type (
 
 // options collects the knobs shared by the facade's variadic entry points.
 type options struct {
-	slowdown float64
-	link     Link
-	retry    *RetryPolicy
-	faults   *FaultModel
-	deadline time.Duration
-	window   int
-	tracer   *Tracer
+	slowdown  float64
+	link      Link
+	retry     *RetryPolicy
+	faults    *FaultModel
+	deadline  time.Duration
+	window    int
+	tracer    *Tracer
+	objective Objective
+	maxHops   int
+	servers   []ServerSpec
+	minCut    bool
 }
 
 func buildOptions(opts []Option) options {
-	o := options{slowdown: 1.0, link: partition.LabWiFi()}
+	o := options{slowdown: 1.0, link: partition.LabWiFi(), maxHops: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -155,6 +171,27 @@ func WithDeadline(d time.Duration) Option { return func(o *options) { o.deadline
 // WithTracer records a live client's request spans (register, plan fetch,
 // upload units, queries) into t; see NewWallClockTracer.
 func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
+
+// WithObjective selects what Plan minimizes: end-to-end latency (the
+// default) or pipeline bottleneck time (SEIFER-style throughput).
+func WithObjective(obj Objective) Option { return func(o *options) { o.objective = obj } }
+
+// WithMaxHops caps the number of server segments a plan may chain (K).
+// The default is 1 — the classic single split; 0 means "as many as there
+// are candidate servers".
+func WithMaxHops(k int) Option { return func(o *options) { o.maxHops = k } }
+
+// WithServers names the candidate edge servers, in chain order, that Plan
+// may place segments on. Without it Plan assumes a single server at the
+// WithSlowdown contention level.
+func WithServers(servers ...ServerSpec) Option {
+	return func(o *options) { o.servers = append([]ServerSpec(nil), servers...) }
+}
+
+// WithMinCut makes Plan compute the exact single-split optimum for
+// arbitrary DAG models via minimum s-t cut (Hu et al.) instead of the
+// Fig 5 shortest path. It implies a single hop.
+func WithMinCut() Option { return func(o *options) { o.minCut = true } }
 
 // withDeadline applies the deadline option to a context; the returned
 // cancel must always be called.
@@ -193,12 +230,31 @@ type (
 	ModelProfile = profile.ModelProfile
 	// Link is a client-server network link.
 	Link = partition.Link
-	// Plan assigns each layer to the client or the server.
-	Plan = partition.Plan
+	// SplitPlan assigns each layer to the client or one server — the
+	// classic single-split plan (Plan returns the richer OffloadPlan).
+	SplitPlan = partition.Plan
+	// OffloadPlan is a unified plan: an ordered chain of server segments
+	// (possibly just one, possibly none) with latency and bottleneck
+	// estimates; see Plan.
+	OffloadPlan = partition.ChainPlan
+	// Hop is one server segment of an OffloadPlan.
+	Hop = partition.Hop
+	// ServerSpec describes one candidate edge server offered to Plan.
+	ServerSpec = partition.ServerSpec
+	// Objective selects what Plan minimizes.
+	Objective = partition.Objective
 	// UploadUnit is one step of the efficiency-first upload schedule.
 	UploadUnit = partition.UploadUnit
 	// Split prices a fixed assignment for simulation.
 	Split = partition.Split
+)
+
+// Plan objectives.
+const (
+	// ObjectiveLatency minimizes one query's end-to-end latency.
+	ObjectiveLatency = partition.ObjectiveLatency
+	// ObjectiveThroughput minimizes the pipeline's bottleneck stage.
+	ObjectiveThroughput = partition.ObjectiveThroughput
 )
 
 // Re-exported estimation types.
@@ -313,41 +369,76 @@ func NewProfile(m *Model) *ModelProfile {
 // LabWiFi returns the paper's evaluation link (50 Mbps down / 35 Mbps up).
 func LabWiFi() Link { return partition.LabWiFi() }
 
-// Partition computes the minimum-latency plan for a profile (Fig 5).
-// Defaults: an idle server (WithSlowdown(1.0)) and the paper's lab Wi-Fi
-// link (WithLink(LabWiFi())).
-func Partition(prof *ModelProfile, opts ...Option) (*Plan, error) {
+// Plan is the unified planning entry point. By default it computes the
+// classic Fig 5 minimum-latency single split against one idle server over
+// the paper's lab Wi-Fi — bit-identical to the historical Partition call —
+// and the options open every other planning form:
+//
+//   - WithSlowdown / WithLink: the classic knobs.
+//   - WithServers: the candidate edge servers, in chain order.
+//   - WithMaxHops(k): allow up to k chained server segments.
+//   - WithObjective(ObjectiveThroughput): minimize the pipeline bottleneck
+//     instead of one query's latency.
+//   - WithMinCut: the exact min-cut single split for branchy DAGs.
+//
+// The returned OffloadPlan subsumes the old results: Split() is the best
+// single-split plan (the failover target of a multi-hop chain) and
+// UploadSchedule() orders the server-side layers for transmission.
+func Plan(prof *ModelProfile, opts ...Option) (*OffloadPlan, error) {
 	o := buildOptions(opts)
-	return partition.Partition(partition.Request{Profile: prof, Slowdown: o.slowdown, Link: o.link})
+	if o.minCut {
+		p, err := partition.PartitionMinCut(partition.Request{Profile: prof, Slowdown: o.slowdown, Link: o.link})
+		if err != nil {
+			return nil, err
+		}
+		return partition.WrapSplit(prof, p), nil
+	}
+	servers := o.servers
+	if len(servers) == 0 {
+		servers = []ServerSpec{{Slowdown: o.slowdown}}
+	}
+	return partition.PlanChain(partition.ChainRequest{
+		Profile:   prof,
+		Link:      o.link,
+		Servers:   servers,
+		MaxHops:   o.maxHops,
+		Objective: o.objective,
+	})
+}
+
+// Partition computes the minimum-latency single-split plan for a profile
+// (Fig 5). Defaults: an idle server (WithSlowdown(1.0)) and the paper's lab
+// Wi-Fi link (WithLink(LabWiFi())).
+//
+// Deprecated: use Plan; Partition(prof, opts...) is Plan(prof,
+// opts...).Split().
+func Partition(prof *ModelProfile, opts ...Option) (*SplitPlan, error) {
+	p, err := Plan(prof, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Split(), nil
 }
 
 // PartitionMinCut computes the exact optimum assignment for arbitrary DAG
 // models via minimum s-t cut (Hu et al., the paper's cited alternative for
 // branchy models). It takes the same options as Partition.
-func PartitionMinCut(prof *ModelProfile, opts ...Option) (*Plan, error) {
-	o := buildOptions(opts)
-	return partition.PartitionMinCut(partition.Request{Profile: prof, Slowdown: o.slowdown, Link: o.link})
-}
-
-// PartitionModel computes the minimum-latency plan for a profile at the
-// given server contention slowdown over the given link.
 //
-// Deprecated: use Partition with WithSlowdown and WithLink.
-func PartitionModel(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
-	return Partition(prof, WithSlowdown(slowdown), WithLink(link))
-}
-
-// PartitionModelMinCut computes the exact optimum assignment via minimum
-// s-t cut.
-//
-// Deprecated: use PartitionMinCut with WithSlowdown and WithLink.
-func PartitionModelMinCut(prof *ModelProfile, slowdown float64, link Link) (*Plan, error) {
-	return PartitionMinCut(prof, WithSlowdown(slowdown), WithLink(link))
+// Deprecated: use Plan with WithMinCut.
+func PartitionMinCut(prof *ModelProfile, opts ...Option) (*SplitPlan, error) {
+	p, err := Plan(prof, append(opts, WithMinCut())...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Split(), nil
 }
 
 // UploadSchedule orders a plan's server-side layers for transmission by the
 // efficiency-first strategy of Section III.C.2.
-func UploadSchedule(prof *ModelProfile, plan *Plan) ([]UploadUnit, error) {
+//
+// Deprecated: use Plan(...).UploadSchedule(), which also handles multi-hop
+// chains.
+func UploadSchedule(prof *ModelProfile, plan *SplitPlan) ([]UploadUnit, error) {
 	req := partition.Request{Profile: prof, Slowdown: plan.Slowdown, Link: plan.Link}
 	return partition.UploadSchedule(req, plan)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -17,14 +18,14 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := perdnn.NewProfile(m)
-	plan, err := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+	plan, err := perdnn.Plan(prof)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plan.NumServerLayers() == 0 {
 		t.Error("Inception should offload on lab Wi-Fi")
 	}
-	sched, err := perdnn.UploadSchedule(prof, plan)
+	sched, err := plan.UploadSchedule()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,9 +141,8 @@ func TestFacadeCityFlow(t *testing.T) {
 	}
 }
 
-// TestFacadeOptionsPartition: the options form defaults to the old
-// positional defaults, the deprecated wrappers delegate to it, and
-// WithSlowdown actually changes the answer.
+// TestFacadeOptionsPartition: the deprecated Partition wrapper reproduces
+// Plan().Split() bit for bit, and WithSlowdown actually changes the answer.
 func TestFacadeOptionsPartition(t *testing.T) {
 	m, err := perdnn.LoadModel(perdnn.ModelInception)
 	if err != nil {
@@ -154,12 +154,13 @@ func TestFacadeOptionsPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	byLegacy, err := perdnn.PartitionModel(prof, 1.0, perdnn.LabWiFi())
+	unified, err := perdnn.Plan(prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if byOpts.NumServerLayers() != byLegacy.NumServerLayers() || byOpts.EstLatency != byLegacy.EstLatency {
-		t.Errorf("options defaults diverge from legacy call: %v vs %v", byOpts, byLegacy)
+	byPlan := unified.Split()
+	if byOpts.NumServerLayers() != byPlan.NumServerLayers() || byOpts.EstLatency != byPlan.EstLatency {
+		t.Errorf("Partition diverges from Plan().Split(): %v vs %v", byOpts, byPlan)
 	}
 
 	congested, err := perdnn.Partition(prof, perdnn.WithSlowdown(50))
@@ -173,6 +174,93 @@ func TestFacadeOptionsPartition(t *testing.T) {
 
 	if _, err := perdnn.PartitionMinCut(prof, perdnn.WithLink(perdnn.LabWiFi())); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadePlanEquivalence: the unified Plan facade reproduces every old
+// planning form bit for bit at K=1 — the Fig 5 split, its upload schedule,
+// and the min-cut split.
+func TestFacadePlanEquivalence(t *testing.T) {
+	for _, name := range perdnn.ModelNames() {
+		m, err := perdnn.LoadModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := perdnn.NewProfile(m)
+		for _, slowdown := range []float64{1, 8} {
+			opts := []perdnn.Option{perdnn.WithSlowdown(slowdown), perdnn.WithLink(perdnn.LabWiFi())}
+			old, err := perdnn.Partition(prof, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unified, err := perdnn.Plan(prof, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			split := unified.Split()
+			if !reflect.DeepEqual(split.Loc, old.Loc) || split.EstLatency != old.EstLatency ||
+				split.Slowdown != old.Slowdown || split.Link != old.Link {
+				t.Errorf("%s/%vx: Plan().Split() is not bit-identical to Partition", name, slowdown)
+			}
+			if unified.EstLatency != old.EstLatency {
+				t.Errorf("%s/%vx: Plan latency %v != Partition %v", name, slowdown, unified.EstLatency, old.EstLatency)
+			}
+			oldSched, err := perdnn.UploadSchedule(prof, old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newSched, err := unified.UploadSchedule()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(oldSched, newSched) {
+				t.Errorf("%s/%vx: Plan().UploadSchedule() diverges from UploadSchedule", name, slowdown)
+			}
+
+			oldCut, err := perdnn.PartitionMinCut(prof, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut, err := perdnn.Plan(prof, append(opts, perdnn.WithMinCut())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cut.Split().Loc, oldCut.Loc) || cut.Split().EstLatency != oldCut.EstLatency {
+				t.Errorf("%s/%vx: WithMinCut diverges from PartitionMinCut", name, slowdown)
+			}
+		}
+	}
+}
+
+// TestFacadePlanPipeline: the multi-hop options produce a chain whose
+// bottleneck beats the single-split pipeline on loaded servers.
+func TestFacadePlanPipeline(t *testing.T) {
+	m, err := perdnn.LoadModel(perdnn.ModelInception)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := perdnn.NewProfile(m)
+	chain, err := perdnn.Plan(prof,
+		perdnn.WithObjective(perdnn.ObjectiveThroughput),
+		perdnn.WithMaxHops(3),
+		perdnn.WithServers(
+			perdnn.ServerSpec{ID: 0, Slowdown: 6},
+			perdnn.ServerSpec{ID: 1, Slowdown: 6},
+			perdnn.ServerSpec{ID: 2, Slowdown: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.NumHops() < 2 {
+		t.Fatalf("expected a multi-hop chain, got %d hops", chain.NumHops())
+	}
+	if chain.Objective != perdnn.ObjectiveThroughput {
+		t.Errorf("objective not carried through: %v", chain.Objective)
+	}
+	if chain.Bottleneck <= 0 || chain.Bottleneck > chain.EstLatency {
+		t.Errorf("bottleneck %v outside (0, EstLatency=%v]", chain.Bottleneck, chain.EstLatency)
+	}
+	if chain.Split() == nil {
+		t.Error("multi-hop plan has no single-split fallback")
 	}
 }
 
