@@ -227,8 +227,8 @@ func benchUploadThroughput(rep *benchReport) error {
 	if err != nil {
 		return err
 	}
-	go esrv.Serve(eln) //nolint:errcheck // bench teardown via Close
-	defer esrv.Close() //nolint:errcheck // bench teardown
+	go esrv.ServeContext(context.Background(), eln) //nolint:errcheck // bench teardown via Close
+	defer esrv.Close()                              //nolint:errcheck // bench teardown
 
 	grid := geo.NewHexGrid(50)
 	loc := grid.Center(geo.HexCell{Q: 0, R: 0})
@@ -242,8 +242,8 @@ func benchUploadThroughput(rep *benchReport) error {
 	if err != nil {
 		return err
 	}
-	go m.Serve(mln) //nolint:errcheck // bench teardown via Close
-	defer m.Close() //nolint:errcheck // bench teardown
+	go m.ServeContext(context.Background(), mln) //nolint:errcheck // bench teardown via Close
+	defer m.Close()                              //nolint:errcheck // bench teardown
 
 	proxy, err := newLatencyProxy(eln.Addr().String(), oneWay)
 	if err != nil {

@@ -1,8 +1,9 @@
 // Command perdnn-vet runs the repo's custom static-analysis suite — the
 // compile-time form of the invariants PerDNN's reproduction numbers rest
 // on: deterministic simulation runs, sentinel-error discipline, context
-// plumbing on the live path, Env immutability, and fixed-shape journal
-// events. See internal/lint for the analyzers.
+// plumbing on the live path, Env immutability, fixed-shape journal
+// events, 0-alloc hot paths, and lock hygiene. See internal/lint for the
+// analyzers and the call-graph engine behind the interprocedural ones.
 //
 // Usage:
 //
@@ -13,9 +14,15 @@
 // at a specific line with a justified directive:
 //
 //	//perdnn:vet-ignore <analyzer> <reason>
+//
+// Output modes: the default is the classic file:line:col form; -json
+// emits one machine-readable array; -github emits GitHub Actions
+// workflow commands (::error file=...) so findings annotate the PR diff
+// inline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +31,22 @@ import (
 	"perdnn/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire shape, one element per finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		only  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		tests = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		only   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		tests  = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		asJSON = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		gh     = flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -43,19 +61,15 @@ func main() {
 		}
 		return
 	}
+	if *asJSON && *gh {
+		fmt.Fprintln(os.Stderr, "perdnn-vet: -json and -github are mutually exclusive")
+		os.Exit(2)
+	}
 
-	analyzers := lint.All()
-	if *only != "" {
-		analyzers = analyzers[:0:0]
-		for _, name := range strings.Split(*only, ",") {
-			name = strings.TrimSpace(name)
-			a := lint.Lookup(name)
-			if a == nil {
-				fmt.Fprintf(os.Stderr, "perdnn-vet: unknown analyzer %q (try -list)\n", name)
-				os.Exit(2)
-			}
-			analyzers = append(analyzers, a)
-		}
+	analyzers, err := lint.Select(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perdnn-vet: %v\n", err)
+		os.Exit(2)
 	}
 
 	pkgs, err := lint.Load(lint.LoadConfig{Tests: *tests}, flag.Args()...)
@@ -68,11 +82,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perdnn-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case *asJSON:
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "perdnn-vet: %v\n", err)
+			os.Exit(2)
+		}
+	case *gh:
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(d))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "perdnn-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// githubAnnotation renders one finding as a workflow command. Property
+// values escape %, CR, LF, comma, and colon per the Actions spec; the
+// message data escapes %, CR, LF.
+func githubAnnotation(d lint.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=perdnn-vet(%s)::%s",
+		escapeGHProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		escapeGHProperty(d.Analyzer), escapeGHData(d.Message))
+}
+
+func escapeGHData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func escapeGHProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }

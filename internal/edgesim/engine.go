@@ -77,6 +77,8 @@ func (e *Engine) After(d time.Duration, fn func()) {
 // Run executes events until the queue is empty or the next event is past
 // `until`; virtual time ends at the last executed event (or `until` if that
 // is later).
+//
+//perdnn:hotpath the event loop executes millions of events per simulated run
 func (e *Engine) Run(until time.Duration) {
 	for len(e.pq) > 0 && e.pq[0].at <= until {
 		ev := heap.Pop(&e.pq).(*event)

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/importer"
 	"go/token"
 	"strings"
 	"testing"
@@ -16,7 +17,9 @@ import (
 const fixtureRoot = "testdata/src"
 
 func TestSimDeterminism(t *testing.T) {
-	RunFixture(t, fixtureRoot, SimDeterminism, "perdnn/internal/edgesim")
+	// simdep is a non-sim helper package: the transitive check flags the
+	// edgesim call site that reaches nondeterminism through it.
+	RunFixture(t, fixtureRoot, SimDeterminism, "perdnn/internal/edgesim", "perdnn/internal/simdep")
 }
 
 func TestSimDeterminismIgnoresNonSimPackages(t *testing.T) {
@@ -55,6 +58,24 @@ func TestFacadeOptsIgnoresOtherPackages(t *testing.T) {
 	RunFixture(t, fixtureRoot, FacadeOpts, "notsim")
 }
 
+func TestHotPathAlloc(t *testing.T) {
+	RunFixture(t, fixtureRoot, HotPathAlloc, "hotpath", "hotpath/dep")
+}
+
+func TestLockHygiene(t *testing.T) {
+	RunFixture(t, fixtureRoot, LockHygiene, "lockuser")
+}
+
+func TestNoDeprecated(t *testing.T) {
+	RunFixture(t, fixtureRoot, NoDeprecated, "perdnn/internal/depuser", "perdnn/internal/depapi")
+}
+
+func TestNoDeprecatedIgnoresOutsideScope(t *testing.T) {
+	// freeuser calls the deprecated surface but lives outside perdnn,
+	// internal/, and cmd/, so the analyzer stays silent.
+	RunFixture(t, fixtureRoot, NoDeprecated, "freeuser", "perdnn/internal/depapi")
+}
+
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
@@ -69,11 +90,25 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 			t.Fatalf("Lookup(%q) does not round-trip", a.Name)
 		}
 	}
-	if len(names) < 5 {
-		t.Fatalf("suite has %d analyzers, want >= 5", len(names))
+	if len(names) < 9 {
+		t.Fatalf("suite has %d analyzers, want >= 9", len(names))
 	}
 	if Lookup("nope") != nil {
 		t.Fatal("Lookup of unknown name should be nil")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	some, err := Select("senterr, ctxflow")
+	if err != nil || len(some) != 2 || some[0] != SentErr || some[1] != CtxFlow {
+		t.Fatalf("Select(\"senterr, ctxflow\") = %v, err %v", some, err)
+	}
+	if _, err := Select("senterr,doesnotexist"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("Select with a nonexistent analyzer: err = %v, want unknown-analyzer error", err)
 	}
 }
 
@@ -94,34 +129,46 @@ func (r *failRecorder) Fatalf(format string, args ...any) {
 
 // TestFixturesFailWithoutAnalyzer proves the gate is real: running a
 // fixture that contains want comments against an analyzer that never
-// reports must fail with "no diagnostic matching" for every want.
+// reports must fail with "no diagnostic matching" for every want. Every
+// fixture wired into the suite — including the call-graph-backed ones —
+// goes through this check.
 func TestFixturesFailWithoutAnalyzer(t *testing.T) {
 	silent := &Analyzer{
 		Name: "silent",
 		Doc:  "reports nothing, ever",
 		Run:  func(*Pass) error { return nil },
 	}
-	rec := &failRecorder{}
-	RunFixture(rec, fixtureRoot, silent, "obsuser")
-	if len(rec.fatals) != 0 {
-		t.Fatalf("unexpected fatal: %v", rec.fatals)
+	fixtures := [][]string{
+		{"obsuser"},
+		{"hotpath", "hotpath/dep"},
+		{"lockuser"},
+		{"perdnn/internal/depuser", "perdnn/internal/depapi"},
+		{"perdnn/internal/edgesim", "perdnn/internal/simdep"},
 	}
-	if len(rec.errors) == 0 {
-		t.Fatal("silent analyzer passed a fixture with want comments; the fixtures do not gate anything")
-	}
-	for _, e := range rec.errors {
-		if !strings.Contains(e, "no diagnostic matching") {
-			t.Fatalf("unexpected harness failure %q", e)
+	for _, paths := range fixtures {
+		rec := &failRecorder{}
+		RunFixture(rec, fixtureRoot, silent, paths...)
+		if len(rec.fatals) != 0 {
+			t.Fatalf("%v: unexpected fatal: %v", paths, rec.fatals)
+		}
+		if len(rec.errors) == 0 {
+			t.Fatalf("%v: silent analyzer passed a fixture with want comments; the fixture gates nothing", paths)
+		}
+		for _, e := range rec.errors {
+			if !strings.Contains(e, "no diagnostic matching") {
+				t.Fatalf("%v: unexpected harness failure %q", paths, e)
+			}
 		}
 	}
 }
 
 // TestIgnoreDirective proves a diagnostic is suppressed only for the named
-// analyzer and only on the directive's line or the line below.
+// analyzer and only on the directive's line or the line below, and that
+// suppression marks the directive used for the stale audit.
 func TestIgnoreDirective(t *testing.T) {
-	ix := ignoreIndex{
-		"f.go": {10: {"ctxflow"}, 20: {"all"}},
-	}
+	ix := &ignoreIndex{byLine: map[string]map[int][]*directive{}}
+	ix.add(token.Position{Filename: "f.go", Line: 10}, []string{"ctxflow"})
+	ix.add(token.Position{Filename: "f.go", Line: 20}, []string{"all"})
 	cases := []struct {
 		analyzer string
 		line     int
@@ -139,5 +186,76 @@ func TestIgnoreDirective(t *testing.T) {
 		if got != c.want {
 			t.Errorf("covers(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
 		}
+	}
+	for _, d := range ix.list {
+		if !d.used {
+			t.Errorf("directive at line %d not marked used after suppressing", d.pos.Line)
+		}
+	}
+}
+
+// TestStaleDirectiveAudit exercises the audit matrix directly: used
+// directives pass, unused ones for analyzers that ran are stale, unknown
+// names are always reported, and analyzers outside the run set are not
+// judged.
+func TestStaleDirectiveAudit(t *testing.T) {
+	ix := &ignoreIndex{byLine: map[string]map[int][]*directive{}}
+	ix.add(token.Position{Filename: "f.go", Line: 10}, []string{"ctxflow"}) // used below
+	ix.add(token.Position{Filename: "f.go", Line: 20}, []string{"ctxflow"}) // stale
+	ix.add(token.Position{Filename: "f.go", Line: 30}, []string{"bogus"})   // unknown
+	ix.add(token.Position{Filename: "f.go", Line: 40}, []string{"senterr"}) // not in run set
+	ix.add(token.Position{Filename: "f.go", Line: 50}, []string{"all"})     // judged only on full-suite runs
+	ix.covers("ctxflow", token.Position{Filename: "f.go", Line: 10})
+
+	diags := staleDirectiveDiags(ix, []*Analyzer{CtxFlow})
+	byLine := map[int]string{}
+	for _, d := range diags {
+		if d.Analyzer != "vet-ignore" {
+			t.Errorf("audit diagnostic under analyzer %q, want vet-ignore", d.Analyzer)
+		}
+		byLine[d.Pos.Line] = d.Message
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d audit diagnostics (%v), want 2", len(diags), byLine)
+	}
+	if !strings.Contains(byLine[20], "stale vet-ignore") {
+		t.Errorf("line 20: %q, want stale report", byLine[20])
+	}
+	if !strings.Contains(byLine[30], "unknown analyzer") {
+		t.Errorf("line 30: %q, want unknown-analyzer report", byLine[30])
+	}
+
+	// On a full-suite run the unused "all" and "senterr" directives are
+	// judged too.
+	full := staleDirectiveDiags(ix, All())
+	if len(full) != 4 {
+		t.Fatalf("full-suite audit: got %d diagnostics, want 4", len(full))
+	}
+}
+
+// TestStaleAndUnknownIgnoreDirectives runs the audit end to end over the
+// staleuser fixture. Want comments cannot annotate directive lines (a
+// trailing comment joins the directive's reason text), so the assertions
+// are explicit.
+func TestStaleAndUnknownIgnoreDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{root: fixtureRoot, fset: fset, cache: map[string]*Package{}}
+	ld.std = importer.ForCompiler(fset, "gc", nil)
+	pkg, err := ld.load("staleuser")
+	if err != nil {
+		t.Fatalf("loading staleuser fixture: %v", err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if err != nil {
+		t.Fatalf("running ctxflow: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want stale + unknown", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `stale vet-ignore for "ctxflow"`) {
+		t.Errorf("first diagnostic %q, want stale ctxflow report", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("second diagnostic %q, want unknown-analyzer report", diags[1].Message)
 	}
 }

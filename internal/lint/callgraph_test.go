@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/importer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// loadFixtureGraph type-checks fixture packages and builds their call
+// graph, the shared setup for the graph unit tests.
+func loadFixtureGraph(t *testing.T, paths ...string) *CallGraph {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{root: fixtureRoot, fset: fset, cache: map[string]*Package{}}
+	ld.std = importer.ForCompiler(fset, "gc", nil)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := ld.load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+func edgeTo(n *FuncNode, key string) (Edge, bool) {
+	for _, e := range n.Out {
+		if e.Node.Key == key {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+func TestCallGraphStaticEdges(t *testing.T) {
+	g := loadFixtureGraph(t, "hotpath", "hotpath/dep")
+	leaky := g.Node("hotpath.Leaky")
+	if leaky == nil || !leaky.Defined() {
+		t.Fatal("hotpath.Leaky missing from graph")
+	}
+	for _, key := range []string{"hotpath.helper", "hotpath/dep.Grow"} {
+		e, ok := edgeTo(leaky, key)
+		if !ok {
+			t.Fatalf("no edge Leaky -> %s", key)
+		}
+		if e.Kind != EdgeStatic {
+			t.Errorf("edge Leaky -> %s has kind %v, want EdgeStatic", key, e.Kind)
+		}
+		if !e.Node.Defined() {
+			t.Errorf("callee %s should be defined (its package was loaded)", key)
+		}
+	}
+	// Reverse edges mirror forward ones.
+	helper := g.Node("hotpath.helper")
+	found := false
+	for _, in := range helper.In {
+		if in.Node == leaky {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("helper has no reverse edge from Leaky")
+	}
+}
+
+func TestCallGraphInterfaceFanOut(t *testing.T) {
+	g := loadFixtureGraph(t, "hotpath")
+	leaky := g.Node("hotpath.Leaky")
+	iface, okI := edgeTo(leaky, "hotpath.Sink.Put")
+	impl, okC := edgeTo(leaky, "hotpath.sliceSink.Put")
+	if !okI || !okC {
+		t.Fatalf("interface call should edge to both the interface method (%v) and the concrete method (%v)", okI, okC)
+	}
+	if iface.Kind != EdgeInterface || impl.Kind != EdgeInterface {
+		t.Errorf("fan-out kinds = %v/%v, want EdgeInterface", iface.Kind, impl.Kind)
+	}
+	// Masked reachability: static-only must not see the implementation.
+	inReach := func(mask EdgeKind, key string) bool {
+		for _, v := range g.Reachable(leaky, mask) {
+			if v.Node.Key == key {
+				return true
+			}
+		}
+		return false
+	}
+	if inReach(EdgeStatic, "hotpath.sliceSink.Put") {
+		t.Error("EdgeStatic reachability leaked through an interface edge")
+	}
+	if !inReach(EdgeStatic|EdgeInterface, "hotpath.sliceSink.Put") {
+		t.Error("EdgeStatic|EdgeInterface reachability misses the fan-out target")
+	}
+}
+
+func TestCallGraphFuncValueFanOut(t *testing.T) {
+	g := loadFixtureGraph(t, "hotpath")
+	ct := g.Node("hotpath.callsThrough")
+	e, ok := edgeTo(ct, "hotpath.notHot")
+	if !ok {
+		t.Fatal("callsThrough(fp) should fan out to the address-taken notHot")
+	}
+	if e.Kind != EdgeFuncValue {
+		t.Errorf("fan-out kind %v, want EdgeFuncValue", e.Kind)
+	}
+	// Score never escapes as a value and has a different signature; it
+	// must not be a target.
+	if _, ok := edgeTo(ct, "hotpath.Score"); ok {
+		t.Error("callsThrough must not fan out to a non-matching function")
+	}
+}
+
+func TestCallGraphCycleSafeReachability(t *testing.T) {
+	g := loadFixtureGraph(t, "hotpath")
+	a := g.Node("hotpath.pingA")
+	visits := g.Reachable(a, EdgeAll)
+	keys := map[string]bool{}
+	for _, v := range visits {
+		if keys[v.Node.Key] {
+			t.Fatalf("node %s visited twice; BFS is not cycle-safe", v.Node.Key)
+		}
+		keys[v.Node.Key] = true
+	}
+	if !keys["hotpath.pingB"] {
+		t.Error("pingB unreachable from pingA")
+	}
+}
+
+func TestPropagateAndDescribeChain(t *testing.T) {
+	g := loadFixtureGraph(t, "hotpath", "hotpath/dep")
+	facts := g.Propagate(EdgeStatic, func(n *FuncNode) (token.Pos, bool) {
+		return token.NoPos, n.Key == "hotpath/dep.Grow"
+	})
+	leaky := g.Node("hotpath.Leaky")
+	if _, ok := facts[leaky]; !ok {
+		t.Fatal("Leaky should inherit the property from dep.Grow")
+	}
+	if _, ok := facts[g.Node("hotpath.Score")]; ok {
+		t.Error("Score does not reach dep.Grow and must not hold the property")
+	}
+	chain := DescribeChain(facts, leaky)
+	if !strings.Contains(chain, "hotpath.Leaky") || !strings.Contains(chain, "dep.Grow") {
+		t.Errorf("chain %q should run from Leaky to dep.Grow", chain)
+	}
+}

@@ -1,0 +1,38 @@
+package lint
+
+import "sync"
+
+// Facts is the per-run shared state analyzers use to cooperate across
+// package boundaries. RunAnalyzers builds one Facts over every loaded
+// package before the first analyzer runs, so an analyzer visiting package
+// A can follow calls into package B's bodies.
+type Facts struct {
+	// Graph is the whole-run static call graph.
+	Graph *CallGraph
+
+	mu   sync.Mutex
+	memo map[string]any
+}
+
+// NewFacts builds the shared fact base for one run over pkgs.
+func NewFacts(pkgs []*Package) *Facts {
+	return &Facts{
+		Graph: BuildCallGraph(pkgs),
+		memo:  map[string]any{},
+	}
+}
+
+// Memo returns the cached value under key, computing it with build on
+// first use. Analyzers use it for run-wide derived facts (e.g. the
+// transitive "blocks" or "allocates" closures) so the worklist runs once,
+// not once per package.
+func (f *Facts) Memo(key string, build func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.memo[key]; ok {
+		return v
+	}
+	v := build()
+	f.memo[key] = v
+	return v
+}

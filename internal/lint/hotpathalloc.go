@@ -1,0 +1,458 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc is the static face of the repo's 0-alloc contract. The
+// runtime side (testing.AllocsPerRun gates from PR 5) proves steady-state
+// behaviour on the configurations the benchmarks happen to run;
+// this analyzer proves the property over every path the type system can
+// see, and pins the finding to a source position instead of a failed
+// benchmark delta.
+//
+// A function opts in with a doc-comment directive:
+//
+//	//perdnn:hotpath <reason>
+//
+// Every annotated function, and everything it transitively reaches over
+// static calls and conservative interface fan-out, must be free of
+// allocation sites: new/make, append to a fresh or nil slice, slice/map
+// composite literals, &composite literals, non-constant string
+// concatenation, string<->[]byte/[]rune conversions, explicit interface
+// boxing, capturing closures, go statements, and calls into allocating
+// stdlib entry points (all of fmt, errors.New, strings.Join, ...).
+//
+// Two escape hatches keep the check honest rather than noisy:
+//
+//   - Cold-path exemption: allocation inside an if/switch block that
+//     terminates by returning a non-nil error or panicking is exempt.
+//     Failure paths may allocate (fmt.Errorf is the repo convention);
+//     the 0-alloc contract covers the happy path, exactly like the
+//     AllocsPerRun gates it mirrors.
+//   - //perdnn:vet-ignore hotpathalloc <reason> at the allocation site,
+//     for the few sanctioned amortized allocations (scratch-buffer
+//     warm-up in partition.grow, the tracing chunk allocator). Because
+//     diagnostics are positioned at the site, one suppression covers
+//     every hot root that reaches it.
+//
+// Func-value fan-out (EdgeFuncValue) is deliberately not traversed: the
+// event-loop and epoch callbacks (edgesim's ev.fn, tracing's epoch) are
+// func values by design, and chasing every same-signature function would
+// drown the signal. The graph still records those edges for other
+// clients.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation sites in and transitively below //perdnn:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+// HotPathDirective marks a function whose call tree must not allocate.
+const HotPathDirective = "//perdnn:hotpath"
+
+// hotPathEdgeMask is the reachability the analyzer trusts: direct calls
+// plus interface method fan-out.
+const hotPathEdgeMask = EdgeStatic | EdgeInterface
+
+// hasHotPathDirective reports whether fd's doc comment opts it in.
+func hasHotPathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotPathDirective || strings.HasPrefix(c.Text, HotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// An allocSite is one allocation found in a function body.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocatingStdlib maps external function keys (FuncKey form) to a short
+// reason. All of fmt is denied wholesale below; this covers the rest.
+var allocatingStdlib = map[string]string{
+	"errors.New":             "errors.New allocates",
+	"errors.Join":            "errors.Join allocates",
+	"strings.Join":           "strings.Join allocates",
+	"strings.Repeat":         "strings.Repeat allocates",
+	"strings.Replace":        "strings.Replace allocates",
+	"strings.ReplaceAll":     "strings.ReplaceAll allocates",
+	"strings.ToUpper":        "strings.ToUpper allocates",
+	"strings.ToLower":        "strings.ToLower allocates",
+	"strings.Split":          "strings.Split allocates",
+	"strings.SplitN":         "strings.SplitN allocates",
+	"strings.Fields":         "strings.Fields allocates",
+	"strings.Clone":          "strings.Clone allocates",
+	"strings.Map":            "strings.Map allocates",
+	"strings.Builder.String": "strings.Builder.String allocates",
+	"strconv.Itoa":           "strconv.Itoa allocates",
+	"strconv.FormatInt":      "strconv.FormatInt allocates",
+	"strconv.FormatUint":     "strconv.FormatUint allocates",
+	"strconv.FormatFloat":    "strconv.FormatFloat allocates",
+	"strconv.Quote":          "strconv.Quote allocates",
+	"sort.Slice":             "sort.Slice allocates (reflect.Swapper)",
+	"sort.SliceStable":       "sort.SliceStable allocates (reflect.Swapper)",
+	"bytes.Buffer.String":    "bytes.Buffer.String allocates",
+	"bytes.Buffer.Bytes":     "bytes.Buffer.Bytes may pin and copy",
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	g := pass.Facts.Graph
+	reported := pass.Facts.Memo("hotpathalloc.reported", func() any {
+		return map[token.Pos]bool{}
+	}).(map[token.Pos]bool)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasHotPathDirective(fd) || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			root := g.NodeFor(fd)
+			if root == nil {
+				continue
+			}
+			visits := g.Reachable(root, hotPathEdgeMask)
+			parent := map[*FuncNode]Visit{}
+			for _, v := range visits {
+				parent[v.Node] = v
+			}
+			for _, v := range visits {
+				if !v.Node.Defined() {
+					continue
+				}
+				for _, site := range hotPathSites(pass.Facts, v.Node) {
+					if reported[site.pos] {
+						continue
+					}
+					reported[site.pos] = true
+					pass.Reportf(site.pos, "allocation on hot path %s: %s%s",
+						root.Name(), site.what, chainSuffix(parent, root, v.Node))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// chainSuffix renders the call chain from root down to node by climbing
+// the BFS parent links, empty when the site is in the root itself.
+func chainSuffix(parent map[*FuncNode]Visit, root, node *FuncNode) string {
+	if node == root {
+		return ""
+	}
+	var rev []string
+	for n := node; n != nil && n != root; {
+		rev = append(rev, n.Name())
+		v, ok := parent[n]
+		if !ok || v.From == nil {
+			break
+		}
+		n = v.From
+	}
+	parts := []string{root.Name()}
+	for i := len(rev) - 1; i >= 0; i-- {
+		parts = append(parts, rev[i])
+	}
+	return " (call chain: " + strings.Join(parts, " → ") + ")"
+}
+
+// hotPathSites returns the allocation sites of one defined function,
+// memoized run-wide so overlapping hot trees scan each body once.
+func hotPathSites(facts *Facts, n *FuncNode) []allocSite {
+	sites := facts.Memo("hotpathalloc.sites", func() any {
+		return map[*FuncNode][]allocSite{}
+	}).(map[*FuncNode][]allocSite)
+	if s, ok := sites[n]; ok {
+		return s
+	}
+	s := scanAllocSites(n.Pkg, n.Decl)
+	sites[n] = s
+	return s
+}
+
+// scanAllocSites walks one function body and classifies its allocation
+// sites, excluding those on cold (error/panic) paths.
+func scanAllocSites(pkg *Package, fd *ast.FuncDecl) []allocSite {
+	sc := &allocScanner{pkg: pkg}
+	sc.coldSpans(fd.Body)
+	sc.walk(fd.Body)
+	return sc.sites
+}
+
+type span struct{ from, to token.Pos }
+
+type allocScanner struct {
+	pkg   *Package
+	sites []allocSite
+	cold  []span
+	// skipLit marks function literals whose allocation is already
+	// accounted for at an enclosing construct (go statements, the
+	// capturing-closure site itself).
+	skipLit map[*ast.FuncLit]bool
+}
+
+func (s *allocScanner) add(pos token.Pos, what string) {
+	for _, sp := range s.cold {
+		if pos >= sp.from && pos <= sp.to {
+			return
+		}
+	}
+	s.sites = append(s.sites, allocSite{pos: pos, what: what})
+}
+
+// coldSpans records the source ranges where allocation is tolerated:
+// blocks that terminate by returning a non-nil error or panicking, and
+// the arguments of panic calls. These are failure paths; the 0-alloc
+// contract is about the happy path.
+func (s *allocScanner) coldSpans(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if blockIsCold(s.pkg.Info, n.Body.List) {
+				s.cold = append(s.cold, span{n.Body.Pos(), n.Body.End()})
+			}
+			if blk, ok := n.Else.(*ast.BlockStmt); ok && blockIsCold(s.pkg.Info, blk.List) {
+				s.cold = append(s.cold, span{blk.Pos(), blk.End()})
+			}
+		case *ast.CaseClause:
+			if blockIsCold(s.pkg.Info, n.Body) {
+				s.cold = append(s.cold, span{n.Pos(), n.End()})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := s.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					s.cold = append(s.cold, span{n.Pos(), n.End()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blockIsCold reports whether a statement list is a failure path: some
+// top-level statement returns a non-nil final error result or panics.
+func blockIsCold(info *types.Info, stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ReturnStmt:
+			if len(st.Results) == 0 {
+				continue
+			}
+			last := st.Results[len(st.Results)-1]
+			if isNilLiteral(info, last) {
+				continue
+			}
+			if tv, ok := info.Types[last]; ok && isErrorType(tv.Type) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (s *allocScanner) walk(body *ast.BlockStmt) {
+	s.skipLit = map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			s.add(n.Pos(), "go statement starts a goroutine (allocates)")
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				s.skipLit[lit] = true
+			}
+		case *ast.FuncLit:
+			if s.skipLit[n] {
+				return false
+			}
+			if capturesVariables(s.pkg.Info, n) {
+				s.add(n.Pos(), "closure captures variables (allocates)")
+				return false
+			}
+			// A capture-free literal compiles to a singleton; keep
+			// scanning its body, which runs on the same path.
+		case *ast.CallExpr:
+			s.call(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					s.add(n.Pos(), "&composite literal allocates")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := s.pkg.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					s.add(n.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					s.add(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := s.pkg.Info.Types[n]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						s.add(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: builtin allocators, allocating
+// conversions, and denylisted stdlib entry points.
+func (s *allocScanner) call(call *ast.CallExpr) {
+	info := s.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		s.conversion(call, tv.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "new":
+				s.add(call.Pos(), "new allocates")
+			case "make":
+				s.add(call.Pos(), "make allocates")
+			case "append":
+				if len(call.Args) > 0 && freshSliceExpr(info, call.Args[0]) {
+					s.add(call.Pos(), "append to a fresh or nil slice allocates on every call")
+				}
+				// append into a caller-owned scratch buffer is the
+				// sanctioned amortized idiom and is left to the runtime
+				// AllocsPerRun gates.
+			}
+			return
+		}
+	}
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "fmt" {
+		s.add(call.Pos(), fmt.Sprintf("fmt.%s allocates", fn.Name()))
+		return
+	}
+	if what, ok := allocatingStdlib[FuncKey(fn)]; ok {
+		s.add(call.Pos(), what)
+	}
+}
+
+// conversion flags the conversions that copy memory or box.
+func (s *allocScanner) conversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if isNilLiteral(s.pkg.Info, arg) {
+		return
+	}
+	argTV, ok := s.pkg.Info.Types[arg]
+	if !ok {
+		return
+	}
+	// Constant-foldable conversions (string("x")) cost nothing.
+	if argTV.Value != nil {
+		return
+	}
+	ut := target.Underlying()
+	if b, ok := ut.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if isByteOrRuneSlice(argTV.Type) {
+			s.add(call.Pos(), "slice-to-string conversion copies")
+		}
+		return
+	}
+	if isByteOrRuneSlice(target) {
+		if b, ok := argTV.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			s.add(call.Pos(), "string-to-slice conversion copies")
+		}
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(argTV.Type) {
+		s.add(call.Pos(), "interface conversion boxes its operand")
+	}
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// freshSliceExpr reports whether expr denotes a slice that is freshly
+// empty at the append — nil, a []T(nil) conversion, or a composite
+// literal — so the append must allocate a backing array.
+func freshSliceExpr(info *types.Info, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if isNilLiteral(info, expr) {
+		return true
+	}
+	if _, ok := expr.(*ast.CompositeLit); ok {
+		return true
+	}
+	if call, ok := expr.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return isNilLiteral(info, call.Args[0])
+		}
+	}
+	return false
+}
+
+// capturesVariables reports whether the literal references a variable
+// declared outside its own body (a free variable, forcing a heap-
+// allocated closure). Package-level variables do not count.
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	declaredInside := map[*types.Var]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			declaredInside[v] = true
+		}
+		return true
+	})
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || declaredInside[v] {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level, not a capture
+		}
+		captures = true
+		return false
+	})
+	return captures
+}

@@ -52,9 +52,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts carries run-wide interprocedural state — the call graph and
+	// memoized derived closures — shared by every pass of the run.
+	Facts *Facts
 
 	diags   *[]Diagnostic
-	ignores ignoreIndex
+	ignores *ignoreIndex
 }
 
 // A Diagnostic is one reported invariant violation.
@@ -92,51 +95,86 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // IgnoreDirective is the comment prefix that suppresses a finding.
 const IgnoreDirective = "//perdnn:vet-ignore"
 
-// ignoreIndex maps file -> line -> analyzer names suppressed on that line.
-// A directive suppresses findings on its own line and on the line below,
-// so it can trail a statement or sit above a declaration.
-type ignoreIndex map[string]map[int][]string
+// A directive is one parsed vet-ignore comment. Used tracks whether any
+// diagnostic was actually suppressed by it during the run, so stale
+// directives can be reported instead of accumulating silently.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
 
-func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
-	lines := ix[pos.Filename]
+// ignoreIndex holds every vet-ignore directive of the run, indexed by
+// file and line. The index is global (all packages), because an
+// interprocedural analyzer visiting package A may position a diagnostic
+// in package B, where the suppression lives.
+type ignoreIndex struct {
+	byLine map[string]map[int][]*directive
+	list   []*directive
+}
+
+// covers reports whether a directive for analyzer suppresses a diagnostic
+// at pos — on the directive's own line or the line below, so it can trail
+// a statement or sit above a declaration — and marks the directive used.
+func (ix *ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	if ix == nil {
+		return false
+	}
+	lines := ix.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[ln] {
-			if name == analyzer || name == "all" {
-				return true
+		for _, d := range lines[ln] {
+			for _, name := range d.names {
+				if name == analyzer || name == "all" {
+					d.used = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// add indexes one directive at pos.
+func (ix *ignoreIndex) add(pos token.Position, names []string) {
+	d := &directive{pos: pos, names: names}
+	ix.list = append(ix.list, d)
+	lines := ix.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int][]*directive{}
+		ix.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], d)
 }
 
 // buildIgnoreIndex scans comments for vet-ignore directives. The directive
 // grammar is "//perdnn:vet-ignore name1,name2 reason..." — everything after
 // the comma-separated analyzer list is a free-form justification.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
-	ix := ignoreIndex{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := fset.Position(c.Slash)
-				lines := ix[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					ix[pos.Filename] = lines
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						lines[pos.Line] = append(lines[pos.Line], name)
+func buildIgnoreIndex(pkgs []*Package) *ignoreIndex {
+	ix := &ignoreIndex{byLine: map[string]map[int][]*directive{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					var names []string
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							names = append(names, name)
+						}
+					}
+					if len(names) > 0 {
+						ix.add(pkg.Fset.Position(c.Slash), names)
 					}
 				}
 			}
@@ -145,12 +183,72 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	return ix
 }
 
+// staleDirectiveDiags audits the run's directives after all analyzers
+// finished. Two failure modes are reported, both under the reserved
+// analyzer name "vet-ignore":
+//
+//   - a directive naming an analyzer that does not exist (typo'd
+//     suppressions silently suppress nothing);
+//   - a directive naming an analyzer that ran over the whole input yet
+//     suppressed no diagnostic — the finding it once justified is gone,
+//     so the directive is dead weight and must be removed.
+//
+// Staleness is only judged for analyzers in the run set ("all" only when
+// the full suite ran), so running a single analyzer over a fixture never
+// flags the other analyzers' legitimate suppressions.
+func staleDirectiveDiags(ix *ignoreIndex, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{"all": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for name := range ran {
+		known[name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	var diags []Diagnostic
+	for _, d := range ix.list {
+		for _, name := range d.names {
+			switch {
+			case !known[name]:
+				diags = append(diags, Diagnostic{
+					Analyzer: "vet-ignore",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("vet-ignore names unknown analyzer %q: it suppresses nothing", name),
+				})
+			case d.used:
+				// The directive earned its keep this run.
+			case name == "all" && fullSuite, name != "all" && ran[name]:
+				diags = append(diags, Diagnostic{
+					Analyzer: "vet-ignore",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("stale vet-ignore for %q: no diagnostic here to suppress; remove the directive", name),
+				})
+			}
+		}
+	}
+	return diags
+}
+
 // RunAnalyzers applies every analyzer to every package and returns all
 // diagnostics sorted by position. Analyzer errors (not findings) abort.
+// The run shares one Facts (call graph + memoized closures) and one
+// global ignore index across all packages; after the last analyzer,
+// unused and unknown ignore directives are reported as findings.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ignores := buildIgnoreIndex(pkgs)
+	facts := NewFacts(pkgs)
 	for _, pkg := range pkgs {
-		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -158,6 +256,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 				diags:     &diags,
 				ignores:   ignores,
 			}
@@ -166,6 +265,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			}
 		}
 	}
+	diags = append(diags, staleDirectiveDiags(ignores, analyzers)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -191,6 +291,9 @@ func All() []*Analyzer {
 		EnvMutate,
 		ObsJournal,
 		FacadeOpts,
+		HotPathAlloc,
+		LockHygiene,
+		NoDeprecated,
 	}
 }
 
@@ -202,4 +305,29 @@ func Lookup(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// Select resolves a comma-separated list of analyzer names (as passed to
+// perdnn-vet -run) to analyzers, rejecting unknown names. An empty list
+// selects the whole suite.
+func Select(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := Lookup(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list for the roster)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return All(), nil
+	}
+	return out, nil
 }

@@ -26,6 +26,32 @@ func TestRepoInvariants(t *testing.T) {
 	}
 }
 
+// TestLoadBuildTaggedPackage checks that export-data loading respects
+// build constraints: raceguard has //go:build race and !race files, and
+// only the file matching the default (race-off) build may be parsed, or
+// the package would declare Enabled twice and fail to check.
+func TestLoadBuildTaggedPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the go toolchain")
+	}
+	pkgs, err := Load(LoadConfig{Dir: "../.."}, "./internal/raceguard")
+	if err != nil {
+		t.Fatalf("loading internal/raceguard: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if n := len(pkg.Files); n != 2 {
+		// doc.go + exactly one of race.go / norace.go.
+		t.Fatalf("parsed %d files, want 2 (doc + the build-selected variant)", n)
+	}
+	obj := pkg.Types.Scope().Lookup("Enabled")
+	if obj == nil {
+		t.Fatal("raceguard.Enabled missing from type info")
+	}
+}
+
 // TestLoadSinglePackage checks the loader's type information is real: it
 // must resolve imports through export data, not stubs.
 func TestLoadSinglePackage(t *testing.T) {

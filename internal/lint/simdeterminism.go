@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -45,6 +46,7 @@ func runSimDeterminism(pass *Pass) error {
 	if !simPackages[pass.Pkg.Path()] {
 		return nil
 	}
+	impure := transitiveImpurity(pass.Facts)
 	for _, file := range pass.Files {
 		if pass.InTestFile(file.Pos()) {
 			continue
@@ -53,6 +55,7 @@ func runSimDeterminism(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkWallClock(pass, n)
+				checkTransitiveImpurity(pass, n, impure)
 			case *ast.SelectorExpr:
 				checkGlobalRand(pass, n)
 			case *ast.RangeStmt:
@@ -62,6 +65,53 @@ func runSimDeterminism(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// transitiveImpurity computes, once per run, which functions reach (over
+// static call edges) a wall-clock read or a package-level math/rand draw.
+// The direct checks above own calls straight into time and math/rand;
+// this closure is for helpers one or more hops away.
+func transitiveImpurity(facts *Facts) map[*FuncNode]Step {
+	return facts.Memo("simdeterminism.impure", func() any {
+		return facts.Graph.Propagate(EdgeStatic, func(n *FuncNode) (token.Pos, bool) {
+			if n.Defined() || n.Fn == nil || n.Fn.Pkg() == nil {
+				return token.NoPos, false
+			}
+			switch n.Fn.Pkg().Path() {
+			case "time":
+				return token.NoPos, funcSig(n.Fn).Recv() == nil && wallClockFuncs[n.Fn.Name()]
+			case "math/rand", "math/rand/v2":
+				return token.NoPos, funcSig(n.Fn).Recv() == nil && !seededRandFuncs[n.Fn.Name()]
+			}
+			return token.NoPos, false
+		})
+	}).(map[*FuncNode]Step)
+}
+
+// checkTransitiveImpurity flags a call from a simulation package to a
+// helper defined outside the simulation packages that transitively
+// reaches the wall clock or the global rand source. Helpers inside sim
+// packages are flagged in their own package by the direct checks, and
+// direct time/rand calls are owned by checkWallClock/checkGlobalRand, so
+// this reports each root cause exactly once.
+func checkTransitiveImpurity(pass *Pass, call *ast.CallExpr, impure map[*FuncNode]Step) {
+	fn, ok := calleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time", "math/rand", "math/rand/v2":
+		return // direct checks own these
+	}
+	node := pass.Facts.Graph.Node(FuncKey(fn))
+	if node == nil || !node.Defined() || simPackages[node.Pkg.ImportPath] {
+		return
+	}
+	if _, isImpure := impure[node]; isImpure {
+		pass.Reportf(call.Pos(),
+			"call from simulation package %s reaches nondeterminism: %s — derive time and randomness from run-scoped state",
+			pass.Pkg.Name(), DescribeChain(impure, node))
+	}
 }
 
 func checkWallClock(pass *Pass, call *ast.CallExpr) {

@@ -1,0 +1,9 @@
+// Package freeuser sits outside perdnn, perdnn/internal/..., and
+// perdnn/cmd/..., so nodeprecated leaves its calls alone even though the
+// callee is deprecated (examples/ get the same latitude).
+package freeuser
+
+import "perdnn/internal/depapi"
+
+// Use may call the deprecated surface freely.
+func Use() int { return depapi.Old() }

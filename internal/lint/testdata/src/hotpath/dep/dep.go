@@ -1,0 +1,8 @@
+// Package dep proves hotpathalloc crosses package boundaries: Grow is
+// unremarkable on its own, but hot (and therefore flagged) because
+// hotpath.Leaky reaches it.
+package dep
+
+func Grow() []int {
+	return make([]int, 8) // want "make allocates"
+}

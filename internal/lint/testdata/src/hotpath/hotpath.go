@@ -1,0 +1,114 @@
+// Package hotpath is the hotpathalloc fixture: functions annotated
+// //perdnn:hotpath must not reach allocation sites; unannotated functions
+// may allocate freely.
+package hotpath
+
+import (
+	"fmt"
+
+	"hotpath/dep"
+)
+
+type cfg struct{ n int }
+
+// Sink is implemented by sliceSink; hot calls through it exercise the
+// conservative interface fan-out.
+type Sink interface{ Put(v int) }
+
+type sliceSink struct{ buf []int }
+
+func (s *sliceSink) Put(v int) {
+	s.buf = make([]int, v) // want "make allocates"
+}
+
+// GlobalSink receives hot-path values.
+var GlobalSink Sink
+
+// scratch is a caller-owned buffer; appends into it are the sanctioned
+// amortized idiom and must not be flagged.
+var scratch []int
+
+//perdnn:hotpath inner scoring loop
+func Score(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+		scratch = append(scratch, x) // ok: amortized append into owned scratch
+	}
+	if total < 0 {
+		panic(fmt.Sprintf("negative total %d", total)) // ok: panic argument is cold
+	}
+	return total
+}
+
+//perdnn:hotpath
+func Leaky(xs []int, name string) (int, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("empty input %q", name) // ok: error-returning branch is cold
+	}
+	out := make([]int, len(xs)) // want "make allocates"
+	copy(out, xs)
+	id := "id-" + name // want "string concatenation allocates"
+	_ = id
+	fresh := append([]int(nil), xs...) // want "append to a fresh or nil slice"
+	_ = fresh
+	c := &cfg{n: len(xs)} // want "composite literal allocates"
+	_ = c
+	box := any(len(xs)) // want "interface conversion boxes"
+	_ = box
+	total := 0
+	go func() { total++ }()          // want "go statement"
+	f := func() int { return total } // want "closure captures"
+	_ = f
+	helper()
+	GlobalSink.Put(total)
+	_ = dep.Grow()
+	return total, nil
+}
+
+//perdnn:hotpath warm-up is suppressed at the site below
+func Warmed(xs []int) int {
+	//perdnn:vet-ignore hotpathalloc one-time scratch warm-up, amortized across calls
+	grown := make([]int, 0, len(xs))
+	_ = grown
+	return len(xs)
+}
+
+func helper() {
+	_ = new(cfg) // want "new allocates"
+}
+
+// coldPathOnly is hot but allocates only on failure paths, so it is clean.
+//
+//perdnn:hotpath
+func coldPathOnly(ok bool) error {
+	if !ok {
+		return fmt.Errorf("boom") // ok: cold
+	}
+	return nil
+}
+
+// notHot allocates freely: without the directive nothing is reported.
+func notHot() []int {
+	return make([]int, 8)
+}
+
+// Handler makes notHot address-taken, so calls through func values of the
+// same signature conservatively fan out to it (callgraph tests assert
+// this; hotpathalloc deliberately does not traverse such edges).
+var Handler = notHot
+
+func callsThrough(fp func() []int) []int { return fp() }
+
+// pingA/pingB form a call cycle; reachability must terminate on it.
+func pingA(n int) {
+	if n > 0 {
+		pingB(n - 1)
+	}
+}
+
+func pingB(n int) {
+	if n > 0 {
+		pingA(n - 1)
+	}
+}

@@ -1,0 +1,27 @@
+// Package depapi is the nodeprecated fixture API: it declares functions
+// carrying standard Deprecated: notes alongside their replacements.
+package depapi
+
+// Old is the legacy entry point.
+//
+// Deprecated: use New.
+func Old() int { return New() }
+
+// New is the replacement.
+func New() int { return 1 }
+
+// OldShim chains to Old; deprecated callers may call deprecated callees.
+//
+// Deprecated: use New.
+func OldShim() int { return Old() }
+
+// T carries one deprecated and one current method.
+type T struct{}
+
+// OldMethod is the legacy method.
+//
+// Deprecated: use NewMethod.
+func (T) OldMethod() int { return 0 }
+
+// NewMethod is the replacement.
+func (T) NewMethod() int { return 0 }

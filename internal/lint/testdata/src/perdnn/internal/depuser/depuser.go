@@ -1,0 +1,21 @@
+// Package depuser lives under perdnn/internal/, so nodeprecated holds it
+// to the no-deprecated-calls rule.
+package depuser
+
+import "perdnn/internal/depapi"
+
+// Use calls the deprecated surface three ways: flagged, flagged method,
+// and sanctioned under vet-ignore (the equivalence-test escape hatch).
+func Use() int {
+	a := depapi.Old() // want "call to deprecated depapi.Old"
+	var t depapi.T
+	b := t.OldMethod() // want "call to deprecated depapi.T.OldMethod"
+	//perdnn:vet-ignore nodeprecated equivalence check pins old == new behavior
+	c := depapi.Old()
+	return a + b + c + depapi.New()
+}
+
+// LegacyUse is itself deprecated, so its calls into Old are exempt.
+//
+// Deprecated: legacy wrapper kept for compatibility.
+func LegacyUse() int { return depapi.Old() }

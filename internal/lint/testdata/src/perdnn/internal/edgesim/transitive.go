@@ -1,0 +1,14 @@
+package edgesim
+
+import (
+	"time"
+
+	"perdnn/internal/simdep"
+)
+
+// transitively exercises the call-graph upgrade: nondeterminism hidden
+// behind a non-sim helper is flagged at the simulation call site.
+func transitively(t0 time.Time) time.Duration {
+	_ = simdep.Pure(1, 2)     // ok: deterministic helper
+	return simdep.Elapsed(t0) // want "reaches nondeterminism: simdep.Elapsed → simdep.wallStep → time.Since"
+}

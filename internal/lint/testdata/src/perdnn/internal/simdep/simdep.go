@@ -1,0 +1,22 @@
+// Package simdep is a non-simulation helper package used by the
+// transitive simdeterminism fixture: Elapsed is legitimate here, but a
+// simulation package that calls it reaches the wall clock and is flagged
+// at its own call site.
+package simdep
+
+import "time"
+
+// Elapsed reads the wall clock — fine outside the simulator.
+func Elapsed(since time.Time) time.Duration {
+	return wallStep(since)
+}
+
+// wallStep adds one more hop so the fixture proves multi-level closure.
+func wallStep(since time.Time) time.Duration {
+	return time.Since(since)
+}
+
+// Pure is deterministic; calls from simulation packages are fine.
+func Pure(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,14 @@
+// Package staleuser is the stale-suppression fixture: a vet-ignore that
+// suppresses nothing in a clean run, and one naming an analyzer that does
+// not exist. TestStaleAndUnknownIgnores loads it directly (the want
+// harness cannot annotate directive lines, since a trailing comment would
+// become part of the directive's free-form reason).
+package staleuser
+
+import "context"
+
+//perdnn:vet-ignore ctxflow nothing here violates ctxflow anymore
+func Fine(ctx context.Context) context.Context { return ctx }
+
+//perdnn:vet-ignore nosuchanalyzer typo'd analyzer name
+func AlsoFine() {}

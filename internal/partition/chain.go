@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"perdnn/internal/dnn"
@@ -246,6 +247,8 @@ func (p *ChainPlan) String() string {
 // single-split one and PlanChain delegates to Solver.Partition, so the
 // result is bit-identical to the existing solver (including its ability to
 // offload non-contiguous layer sets).
+//
+//perdnn:hotpath multi-hop re-planning runs on every placement refresh
 func PlanChain(req ChainRequest) (*ChainPlan, error) {
 	if req.Profile == nil || req.Profile.Model == nil {
 		return nil, errors.New("partition: chain request has no profile")
@@ -259,7 +262,10 @@ func PlanChain(req ChainRequest) (*ChainPlan, error) {
 	if req.MaxHops < 0 {
 		return nil, fmt.Errorf("partition: negative MaxHops %d", req.MaxHops)
 	}
-	servers := make([]ServerSpec, len(req.Servers))
+	sc := chainScratchPool.Get().(*chainScratch)
+	defer chainScratchPool.Put(sc)
+	sc.servers = grow(sc.servers, len(req.Servers))
+	servers := sc.servers
 	copy(servers, req.Servers)
 	for i := range servers {
 		if servers[i].Slowdown < 1 {
@@ -285,7 +291,7 @@ func PlanChain(req ChainRequest) (*ChainPlan, error) {
 	if req.Objective == ObjectiveLatency && maxHops(req) == 1 {
 		return delegatedChainPlan(req, fallback, fbSpec), nil
 	}
-	plan, err := planChainDP(req)
+	plan, err := planChainDP(req, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +308,42 @@ func WrapSplit(prof *profile.ModelProfile, plan *Plan) *ChainPlan {
 		plan,
 		ServerSpec{Slowdown: plan.Slowdown},
 	)
+}
+
+// chainSegment is one backtracked (start, end, candidate) run of the DP.
+type chainSegment struct {
+	start, end, srv int
+}
+
+// chainScratch holds the chain DP's working arrays. Like Solver, buffers
+// grow to the largest (model, candidate set) seen and are reused, so after
+// warm-up PlanChain's planning core runs without steady-state allocations;
+// only the returned plan (Hops, Layers) is freshly built, because the
+// caller owns it. Not safe for concurrent use; PlanChain draws one from a
+// pool per call.
+type chainScratch struct {
+	servers       []ServerSpec
+	cross, expire []int64
+	prefC, prefB  []float64
+	prefW         []int64
+	prev, cur     []float64
+	enterVal      []float64
+	enterSrv      []int32
+	parentPos     []int32
+	parentSrv     []int32
+	segs          []chainSegment
+}
+
+// chainScratchPool shares warmed-up DP scratch across PlanChain calls.
+var chainScratchPool = sync.Pool{New: func() any { return new(chainScratch) }}
+
+// combineCost folds one pipeline stage into an accumulated cost: additive
+// under latency, max-combine under throughput (bottleneck stage).
+func combineCost(throughput bool, acc, stage float64) float64 {
+	if throughput {
+		return math.Max(acc, stage)
+	}
+	return acc + stage
 }
 
 // maxHops resolves the request's hop budget (0 = all candidates).
@@ -347,6 +389,7 @@ func bestSingleSplit(req ChainRequest) (*Plan, ServerSpec, error) {
 		if err != nil {
 			return nil, ServerSpec{}, err
 		}
+		//perdnn:vet-ignore hotpathalloc cold fallback, runs only when every candidate is over-committed
 		best = &Plan{Model: m, Loc: loc, EstLatency: lat, Slowdown: 1, Link: req.Link}
 		bestSpec = req.Servers[0]
 	}
@@ -359,6 +402,7 @@ func bestSingleSplit(req ChainRequest) (*Plan, ServerSpec, error) {
 // estimate, bit for bit.
 func delegatedChainPlan(req ChainRequest, plan *Plan, spec ServerSpec) *ChainPlan {
 	sp := Decompose(req.Profile, plan.Loc)
+	//perdnn:vet-ignore hotpathalloc the returned plan is caller-owned and must outlive the call
 	cp := &ChainPlan{
 		Model:      plan.Model,
 		ClientPre:  sp.ClientTime,
@@ -371,6 +415,7 @@ func delegatedChainPlan(req ChainRequest, plan *Plan, spec ServerSpec) *ChainPla
 	}
 	if layers := plan.ServerLayers(); len(layers) > 0 {
 		exec := time.Duration(float64(sp.ServerBase) * plan.Slowdown)
+		//perdnn:vet-ignore hotpathalloc the returned plan's hop list is caller-owned
 		cp.Hops = []Hop{{
 			Server:    spec,
 			Layers:    layers,
@@ -404,10 +449,13 @@ func chainBottleneck(p *ChainPlan) time.Duration {
 // activation bytes alive across it: the model input at p == 0, the outputs
 // of layers i < p with any consumer >= p in between, and the final output
 // at p == n. Maintained with the same incremental expiry sweep as
-// Solver.frontierCosts, so the totals are bit-identical to a rescan.
-func chainCrossBytes(topo *dnn.Topology, n int) []int64 {
-	cross := make([]int64, n+1)
-	expire := make([]int64, n)
+// Solver.frontierCosts, so the totals are bit-identical to a rescan. The
+// returned slice aliases sc and is valid until sc is reused.
+func chainCrossBytes(sc *chainScratch, topo *dnn.Topology, n int) []int64 {
+	sc.cross = grow(sc.cross, n+1)
+	sc.expire = grow(sc.expire, n)
+	cross, expire := sc.cross, sc.expire
+	clear(expire)
 	for j := 0; j < n; j++ {
 		if topo.LastUse[j] > j {
 			expire[topo.LastUse[j]] += topo.OutBytes[j]
@@ -441,19 +489,22 @@ func chainCrossBytes(topo *dnn.Topology, n int) []int64 {
 // candidate's backhaul otherwise, and skipping segments whose weights
 // exceed the candidate's memory budget. DP costs are float64 seconds; the
 // chosen chain is re-priced exactly in integer Durations afterwards.
-func planChainDP(req ChainRequest) (*ChainPlan, error) {
+func planChainDP(req ChainRequest, sc *chainScratch) (*ChainPlan, error) {
 	prof := req.Profile
 	m := prof.Model
 	n := m.NumLayers()
 	nServers := len(req.Servers)
 	hopCap := maxHops(req)
+	throughput := req.Objective == ObjectiveThroughput
 
 	topo := m.Topo()
-	cross := chainCrossBytes(topo, n)
+	cross := chainCrossBytes(sc, topo, n)
 
-	prefC := make([]float64, n+1) // client seconds
-	prefB := make([]float64, n+1) // contention-free server seconds
-	prefW := make([]int64, n+1)   // weight bytes
+	sc.prefC = grow(sc.prefC, n+1) // client seconds
+	sc.prefB = grow(sc.prefB, n+1) // contention-free server seconds
+	sc.prefW = grow(sc.prefW, n+1) // weight bytes
+	prefC, prefB, prefW := sc.prefC, sc.prefB, sc.prefW
+	prefC[0], prefB[0], prefW[0] = 0, 0, 0
 	for i := 0; i < n; i++ {
 		prefC[i+1] = prefC[i] + prof.ClientTime[i].Seconds()
 		prefB[i+1] = prefB[i] + prof.ServerBase[i].Seconds()
@@ -461,15 +512,21 @@ func planChainDP(req ChainRequest) (*ChainPlan, error) {
 	}
 
 	inf := math.Inf(1)
-	size := nServers * (n + 1)
-	idx := func(j, p int) int { return j*(n+1) + p }
-	// best/parent for the current and previous hop counts.
-	prev := make([]float64, size)
-	cur := make([]float64, size)
+	stride := n + 1 // flat [j][p] indexing: j*stride + p
+	size := nServers * stride
+	// best/parent for the current and previous hop counts. prev's stale
+	// contents are never read: at h == 1 only prefC seeds the entry states,
+	// and from h == 2 on prev is the fully written cur of the previous h.
+	sc.prev = grow(sc.prev, size)
+	sc.cur = grow(sc.cur, size)
+	prev, cur := sc.prev, sc.cur
 	// Backtracking: for (h, j, q), the segment start and predecessor
-	// candidate (-1 = the client prefix).
-	parentPos := make([]int32, hopCap*size)
-	parentSrv := make([]int32, hopCap*size)
+	// candidate (-1 = the client prefix). Every (h, j, q >= 1) entry is
+	// written before the backtrack reads it; q == 0 entries are never read
+	// because no recorded segment ends at frontier 0.
+	sc.parentPos = grow(sc.parentPos, hopCap*size)
+	sc.parentSrv = grow(sc.parentSrv, hopCap*size)
+	parentPos, parentSrv := sc.parentPos, sc.parentSrv
 
 	type finishState struct {
 		cost    float64
@@ -480,34 +537,28 @@ func planChainDP(req ChainRequest) (*ChainPlan, error) {
 	// (one stage, no transfers).
 	final := finishState{cost: prefC[n], hops: 0}
 
-	combine := func(acc, stage float64) float64 {
-		if req.Objective == ObjectiveThroughput {
-			return math.Max(acc, stage)
-		}
-		return acc + stage
-	}
-
 	// enter[j][p]: the cheapest way to stand at frontier p about to start
 	// the current hop on candidate j — the client prefix for hop 1, else
 	// the best (h-1)-hop state of any earlier candidate (prefix-min over
 	// the candidate order keeps the chain an order-preserving subsequence).
-	enterVal := make([]float64, size)
-	enterSrv := make([]int32, size)
+	sc.enterVal = grow(sc.enterVal, size)
+	sc.enterSrv = grow(sc.enterSrv, size)
+	enterVal, enterSrv := sc.enterVal, sc.enterSrv
 
 	for h := 1; h <= hopCap; h++ {
 		for p := 0; p <= n; p++ {
 			if h == 1 {
 				for j := 0; j < nServers; j++ {
-					enterVal[idx(j, p)] = prefC[p]
-					enterSrv[idx(j, p)] = -1
+					enterVal[j*stride+p] = prefC[p]
+					enterSrv[j*stride+p] = -1
 				}
 				continue
 			}
 			run, runJ := inf, int32(-1)
 			for j := 0; j < nServers; j++ {
-				enterVal[idx(j, p)] = run
-				enterSrv[idx(j, p)] = runJ
-				if v := prev[idx(j, p)]; v < run {
+				enterVal[j*stride+p] = run
+				enterSrv[j*stride+p] = runJ
+				if v := prev[j*stride+p]; v < run {
 					run, runJ = v, int32(j)
 				}
 			}
@@ -528,26 +579,26 @@ func planChainDP(req ChainRequest) (*ChainPlan, error) {
 					if spec.MemBytes > 0 && prefW[q]-prefW[p] > spec.MemBytes {
 						break // the segment only grows as p moves left
 					}
-					enter := enterVal[idx(j, p)]
+					enter := enterVal[j*stride+p]
 					if math.IsInf(enter, 1) {
 						continue
 					}
 					stage := link.UpTime(cross[p]).Seconds() + (prefB[q]-prefB[p])*spec.Slowdown
-					if cost := combine(enter, stage); cost < best {
+					if cost := combineCost(throughput, enter, stage); cost < best {
 						best = cost
 						bestP = int32(p)
-						bestJ = enterSrv[idx(j, p)]
+						bestJ = enterSrv[j*stride+p]
 					}
 				}
-				cur[idx(j, q)] = best
-				parentPos[(h-1)*size+idx(j, q)] = bestP
-				parentSrv[(h-1)*size+idx(j, q)] = bestJ
+				cur[j*stride+q] = best
+				parentPos[(h-1)*size+j*stride+q] = bestP
+				parentSrv[(h-1)*size+j*stride+q] = bestJ
 				if math.IsInf(best, 1) {
 					continue
 				}
 				// Close the chain here: downlink + client suffix.
 				tail := req.Link.DownTime(cross[q]).Seconds() + (prefC[n] - prefC[q])
-				if total := combine(best, tail); total < final.cost {
+				if total := combineCost(throughput, best, tail); total < final.cost {
 					final = finishState{cost: total, hops: h, j: j, end: q}
 				}
 			}
@@ -556,22 +607,21 @@ func planChainDP(req ChainRequest) (*ChainPlan, error) {
 	}
 
 	// Backtrack the winning chain into (start, end, candidate) segments.
-	type segment struct {
-		start, end, srv int
-	}
-	segs := make([]segment, 0, final.hops)
+	segs := sc.segs[:0]
 	j, q := final.j, final.end
 	for h := final.hops; h >= 1; h-- {
-		p := int(parentPos[(h-1)*size+idx(j, q)])
-		pj := int(parentSrv[(h-1)*size+idx(j, q)])
-		segs = append(segs, segment{start: p, end: q, srv: j})
+		p := int(parentPos[(h-1)*size+j*stride+q])
+		pj := int(parentSrv[(h-1)*size+j*stride+q])
+		segs = append(segs, chainSegment{start: p, end: q, srv: j})
 		j, q = pj, p
 	}
+	sc.segs = segs
 	for i, k := 0, len(segs)-1; i < k; i, k = i+1, k-1 {
 		segs[i], segs[k] = segs[k], segs[i]
 	}
 
 	// Exact integer re-pricing of the chosen chain.
+	//perdnn:vet-ignore hotpathalloc the returned plan is caller-owned and must outlive the scratch
 	plan := &ChainPlan{
 		Model:     m,
 		Objective: req.Objective,
@@ -597,7 +647,8 @@ func planChainDP(req ChainRequest) (*ChainPlan, error) {
 			link = spec.Link
 		}
 		hop := Hop{
-			Server:  spec,
+			Server: spec,
+			//perdnn:vet-ignore hotpathalloc layer lists belong to the caller-owned plan
 			Layers:  make([]dnn.LayerID, 0, sg.end-sg.start),
 			Bytes:   prefW[sg.end] - prefW[sg.start],
 			InBytes: cross[sg.start],

@@ -237,7 +237,7 @@ func TestPlanChainBruteForce(t *testing.T) {
 	prof := profile.NewModelProfile(m, profile.ClientODROID(), profile.ServerTitanXp())
 	n := m.NumLayers()
 	topo := m.Topo()
-	cross := chainCrossBytes(topo, n)
+	cross := chainCrossBytes(new(chainScratch), topo, n)
 	prefC := make([]float64, n+1)
 	prefB := make([]float64, n+1)
 	prefW := make([]int64, n+1)
@@ -296,7 +296,7 @@ func TestPlanChainBruteForce(t *testing.T) {
 			}
 			rec([]int{0}, nil)
 
-			cp, err := planChainDP(req)
+			cp, err := planChainDP(req, new(chainScratch))
 			if err != nil {
 				t.Fatalf("%v/K=%d: %v", obj, k, err)
 			}
@@ -452,7 +452,7 @@ func TestChainCrossBytesMatchesFrontierCosts(t *testing.T) {
 		m, _ := dnn.ZooModel(name)
 		n := m.NumLayers()
 		link := LabWiFi()
-		cross := chainCrossBytes(m.Topo(), n)
+		cross := chainCrossBytes(new(chainScratch), m.Topo(), n)
 		s := NewSolver()
 		s.frontierCosts(m, link)
 		for p := 0; p < n; p++ {

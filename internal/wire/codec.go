@@ -31,6 +31,7 @@ func growClass(b []byte, n int) []byte {
 	for c < n {
 		c <<= 1
 	}
+	//perdnn:vet-ignore hotpathalloc amortized size-class growth; similar-size messages settle into one stable buffer
 	return make([]byte, 0, c)
 }
 
@@ -274,6 +275,7 @@ type decoder struct {
 
 func (d *decoder) fail(what string) {
 	if d.err == nil {
+		//perdnn:vet-ignore hotpathalloc error path: fires at most once per malformed frame
 		d.err = fmt.Errorf("%w: %s at offset %d", ErrFrame, what, d.off)
 	}
 }
@@ -368,9 +370,10 @@ func (d *decoder) string(memo *string) string {
 	}
 	b := d.buf[d.off : d.off+n]
 	d.off += n
-	if string(b) == *memo {
+	if string(b) == *memo { //perdnn:vet-ignore hotpathalloc comparison conversion does not escape; the compiler elides the copy
 		return *memo
 	}
+	//perdnn:vet-ignore hotpathalloc memo refresh: copies only when the value actually changed
 	*memo = string(b)
 	return *memo
 }
@@ -402,6 +405,7 @@ func (d *decoder) planHops(dst []PlanHop) []PlanHop {
 	if n <= cap(dst) {
 		dst = dst[:n]
 	} else {
+		//perdnn:vet-ignore hotpathalloc amortized: grows the connection-owned arena only when a longer chain arrives
 		dst = append(dst[:cap(dst)], make([]PlanHop, n-cap(dst))...)
 	}
 	for i := range dst {
@@ -420,6 +424,7 @@ func (d *decoder) forwardHops(dst []ForwardHop) []ForwardHop {
 	if n <= cap(dst) {
 		dst = dst[:n]
 	} else {
+		//perdnn:vet-ignore hotpathalloc amortized: grows the connection-owned arena only when a longer chain arrives
 		dst = append(dst[:cap(dst)], make([]ForwardHop, n-cap(dst))...)
 	}
 	for i := range dst {
@@ -436,6 +441,7 @@ func (d *decoder) layerUnits(dst [][]dnn.LayerID) [][]dnn.LayerID {
 	if n <= cap(dst) {
 		dst = dst[:n]
 	} else {
+		//perdnn:vet-ignore hotpathalloc amortized: grows the connection-owned arena only when a longer schedule arrives
 		dst = append(dst[:cap(dst)], make([][]dnn.LayerID, n-cap(dst))...)
 	}
 	for i := range dst {

@@ -479,6 +479,7 @@ func (c *Conn) watchCancel(ctx context.Context) (stop func() bool) {
 	if ctx.Done() == nil {
 		return nopStop
 	}
+	//perdnn:vet-ignore hotpathalloc context.AfterFunc requires a closure; armed only for cancellable contexts
 	return context.AfterFunc(ctx, func() {
 		c.poisoned.Store(true)
 		_ = c.c.SetDeadline(time.Now())
@@ -488,6 +489,8 @@ func (c *Conn) watchCancel(ctx context.Context) (stop func() bool) {
 // SendContext writes one envelope, bounded by the context deadline (or the
 // 30 s default, whichever is earlier) and interruptible by cancellation. A
 // Conn whose earlier operation was interrupted returns ErrConnPoisoned.
+//
+//perdnn:hotpath per-inference wire send; the zero-copy codec depends on it
 func (c *Conn) SendContext(ctx context.Context, e *Envelope) error {
 	if c.poisoned.Load() {
 		return fmt.Errorf("wire: send: %w", ErrConnPoisoned)
@@ -525,6 +528,8 @@ func (c *Conn) Send(e *Envelope) error {
 // The returned Envelope is owned by the Conn and valid only until the next
 // Recv; callers that retain it (or its slices/strings) must Clone. A Conn
 // whose earlier operation was interrupted returns ErrConnPoisoned.
+//
+//perdnn:hotpath per-inference wire receive; the arena decode depends on it
 func (c *Conn) RecvContext(ctx context.Context) (*Envelope, error) {
 	if c.poisoned.Load() {
 		return nil, fmt.Errorf("wire: recv: %w", ErrConnPoisoned)
