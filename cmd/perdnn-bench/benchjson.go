@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -55,6 +56,24 @@ type benchReport struct {
 	// throughput of the K-hop throughput plan against the best single
 	// split over the same loaded servers.
 	Pipeline []pipelineBench `json:"pipeline"`
+	// Sharded city simulation: wall-clock throughput of one identical
+	// query-dominated run at several region-shard counts, against the
+	// classic single-queue engine (Shards 0). Parallel speedup needs a
+	// multi-core runner; journals are byte-identical at every row.
+	ShardedCity []shardedCityBench `json:"shardedCity"`
+}
+
+// shardedCityBench is one shard count's wall-clock measurement.
+type shardedCityBench struct {
+	// Shards is the region-shard count; 0 is the unsharded single-queue
+	// engine (the baseline).
+	Shards      int     `json:"shards"`
+	Queries     int     `json:"queries"`
+	WallSeconds float64 `json:"wallSeconds"`
+	QPS         float64 `json:"queriesPerSec"`
+	// HandoffsPerSec rates the boundary events processed: client handoffs
+	// between edge cells per wall-clock second.
+	HandoffsPerSec float64 `json:"handoffsPerSec"`
 }
 
 // pipelineBench is one model's pipelined-vs-single-split comparison.
@@ -87,9 +106,12 @@ func (r *benchReport) measure(name string, fn func(b *testing.B)) benchEntry {
 // runBenchJSON executes the microbenchmark suite and writes path.
 func runBenchJSON(path string, quick bool) error {
 	rep := &benchReport{
-		GOOS:     runtime.GOOS,
-		GOARCH:   runtime.GOARCH,
-		CPUs:     runtime.NumCPU(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		// GOMAXPROCS, not NumCPU: every worker-pool default in the repo
+		// resolves 0 to GOMAXPROCS(0), so the report records the
+		// parallelism the measured code actually had (see DESIGN.md).
+		CPUs:     runtime.GOMAXPROCS(0),
 		Speedups: map[string]float64{},
 	}
 	fmt.Println("planning microbenchmarks (optimized vs reference):")
@@ -196,6 +218,9 @@ func runBenchJSON(path string, quick bool) error {
 		return err
 	}
 	if err := benchCitySim(rep, quick); err != nil {
+		return err
+	}
+	if err := benchShardedCity(rep, quick); err != nil {
 		return err
 	}
 
@@ -315,5 +340,72 @@ func benchCitySim(rep *benchReport, quick bool) error {
 	}
 	fmt.Printf("  %-36s %12.0f queries/s (%d queries in %.2fs)\n",
 		"city-sim", rep.CityQueriesPerSec, res.TotalQueries, wall)
+	return nil
+}
+
+// benchShardedCity wall-clocks one identical query-dominated city run at
+// several region-shard counts against the single-queue engine. On a
+// multi-core runner the shard goroutines advance in parallel; with fewer
+// cores the remaining gain is the smaller per-shard event heaps.
+func benchShardedCity(rep *benchReport, quick bool) error {
+	tcfg := trace.KAISTConfig()
+	tcfg.TrainUsers = 10
+	tcfg.TestUsers = 48
+	tcfg.Duration = 50 * time.Minute
+	base, err := trace.Generate(tcfg)
+	if err != nil {
+		return err
+	}
+	ecfg := edgesim.DefaultEnvConfig()
+	ecfg.MaxTrainWindows = 4000
+	env, err := edgesim.PrepareEnv(base, ecfg)
+	if err != nil {
+		return err
+	}
+	ccfg := edgesim.DefaultCityConfig(dnn.ModelMobileNet, edgesim.ModePerDNN, 100)
+	ccfg.MaxSteps = 40
+	if quick {
+		ccfg.MaxSteps = 10
+	}
+	// A short gap makes the run query-dominated, the regime sharding
+	// targets (the same shape as edgesim's BenchmarkShardedCity).
+	ccfg.QueryGap = 50 * time.Millisecond
+	// Warm the process-wide plan cache so rows compare engine cost only.
+	if _, err := edgesim.RunCity(env, ccfg); err != nil {
+		return err
+	}
+	fmt.Println("sharded city simulation (identical run, varying shard count):")
+	run := func(shards int) error {
+		start := time.Now()
+		var res *edgesim.CityResult
+		var err error
+		if shards == 0 {
+			res, err = edgesim.RunCity(env, ccfg)
+		} else {
+			res, err = edgesim.RunCitySharded(context.Background(), env, ccfg, shards)
+		}
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start).Seconds()
+		e := shardedCityBench{Shards: shards, Queries: res.TotalQueries, WallSeconds: wall}
+		if wall > 0 {
+			e.QPS = float64(res.TotalQueries) / wall
+			e.HandoffsPerSec = float64(res.Connections) / wall
+		}
+		rep.ShardedCity = append(rep.ShardedCity, e)
+		label := "sharded-city/unsharded"
+		if shards > 0 {
+			label = fmt.Sprintf("sharded-city/shards=%d", shards)
+		}
+		fmt.Printf("  %-36s %12.0f queries/s (%d queries in %.2fs, %.0f handoffs/s)\n",
+			label, e.QPS, res.TotalQueries, wall, e.HandoffsPerSec)
+		return nil
+	}
+	for _, s := range []int{0, 1, 2, 4, 8} {
+		if err := run(s); err != nil {
+			return err
+		}
+	}
 	return nil
 }

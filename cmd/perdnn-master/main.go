@@ -8,6 +8,18 @@
 // The master answers clients' plan requests with GPU-aware partitioning
 // plans and orders proactive layer migrations as clients report their
 // trajectories.
+//
+// Several masters can split a city into region shards: every master is
+// launched with the same full -edge list plus -shards, its own -shard
+// index, and one -peer flag per shard naming each master's address, in
+// shard order:
+//
+//	perdnn-master -listen :7100 -shard 0 -shards 2 \
+//	    -peer 10.0.0.1:7100 -peer 10.0.0.2:7100 -edge ... -edge ...
+//
+// Each master then owns its region's registrations and plans; clients
+// whose trajectories cross a region boundary are handed off to the owning
+// peer and redirected transparently.
 package main
 
 import (
@@ -54,6 +66,16 @@ func (e *edgeFlags) Set(v string) error {
 	return nil
 }
 
+// peerFlags collects repeated -peer values.
+type peerFlags []string
+
+func (p *peerFlags) String() string { return strings.Join(*p, ",") }
+
+func (p *peerFlags) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "perdnn-master:", err)
@@ -68,8 +90,12 @@ func run() error {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
 	traceOn := flag.Bool("trace", false, "record request spans; export them at /trace on -debug-addr")
+	shard := flag.Int("shard", 0, "this master's region shard index (with -shards)")
+	shards := flag.Int("shards", 0, "total region shards; 0 or 1 runs a single master owning the whole city")
 	var edges edgeFlags
 	flag.Var(&edges, "edge", "edge server as addr@x,y (repeatable)")
+	var peers peerFlags
+	flag.Var(&peers, "peer", "shard master address, one per shard in shard order (repeatable, with -shards)")
 	flag.Parse()
 
 	if len(edges) == 0 {
@@ -81,6 +107,9 @@ func run() error {
 	}
 	cfg := master.DefaultConfig(edges)
 	cfg.Radius = *radius
+	cfg.Shard = *shard
+	cfg.Shards = *shards
+	cfg.Peers = peers
 	cfg.Logger = obs.NewLogger(os.Stderr, level, "master")
 	if *traceOn {
 		cfg.Tracer = tracing.NewWallClock()
@@ -125,7 +154,12 @@ func run() error {
 	// listener, interrupts in-flight exchanges, drains, and returns nil.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("perdnn-master: serving on %s with %d edge servers (r=%.0fm)\n",
-		ln.Addr(), len(edges), *radius)
+	if *shards > 1 {
+		fmt.Printf("perdnn-master: serving shard %d of %d on %s with %d edge servers (r=%.0fm)\n",
+			*shard, *shards, ln.Addr(), len(edges), *radius)
+	} else {
+		fmt.Printf("perdnn-master: serving on %s with %d edge servers (r=%.0fm)\n",
+			ln.Addr(), len(edges), *radius)
+	}
 	return m.ServeContext(ctx, ln)
 }

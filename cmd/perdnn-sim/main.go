@@ -6,13 +6,17 @@
 //
 //	perdnn-sim [-dataset kaist|geolife] [-model mobilenet|inception|resnet]
 //	           [-mode ionn|perdnn|optimal|routing] [-radius 100] [-ttl 5]
-//	           [-steps 0] [-parallel 0]
+//	           [-steps 0] [-parallel 0] [-shards 0]
 //
 // -model, -mode and -radius accept comma-separated lists; the cross product
 // of the lists runs as one sweep on a worker pool of -parallel goroutines
 // (0 = GOMAXPROCS) and prints one summary row per cell, in order. A single
 // cell prints the full detailed report. Results are deterministic and
 // independent of the worker count.
+//
+// -shards splits every run into that many region shards, each advancing
+// its own event queue on its own goroutine — results and journals stay
+// byte-identical to the unsharded engine, only wall time changes.
 //
 // The -fault-* flags inject a deterministic failure model (server outage
 // windows, transient link faults) into every cell; churn shows up as
@@ -91,6 +95,7 @@ func run() error {
 	ttl := flag.Int("ttl", 5, "layer cache TTL in prediction intervals")
 	steps := flag.Int("steps", 0, "max trajectory steps (0 = full playback)")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "region shards per run, each on its own goroutine (0 or 1 = single event queue)")
 	csvPath := flag.String("csv", "", "write the per-server backhaul ledger as CSV to this path (single run only)")
 	eventsPath := flag.String("events", "", "write the runs' event journals as JSONL to this path (deterministic across -parallel)")
 	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace of the runs' spans to this path (deterministic across -parallel)")
@@ -188,6 +193,7 @@ func run() error {
 				cfg.RecordEvents = *eventsPath != ""
 				cfg.RecordSpans = *tracePath != "" || *spansPath != ""
 				cfg.Faults = faults
+				cfg.Shards = *shards
 				cfgs = append(cfgs, cfg)
 			}
 		}

@@ -114,11 +114,10 @@ func New(cfg Config) (*Server, error) {
 		met:    obs.NewRegistry(),
 		tr:     cfg.Tracer,
 		node:   node,
-		peers:  wire.NewPool(),
 		cache:  make(map[int]*cacheEntry, 8),
 		closed: make(chan struct{}),
 	}
-	s.peers.RegisterMetrics(s.met, "peer_pool_")
+	s.peers = wire.NewRegisteredPool(s.met, "peer")
 	return s, nil
 }
 

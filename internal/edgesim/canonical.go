@@ -1,0 +1,165 @@
+package edgesim
+
+import (
+	"sort"
+
+	"perdnn/internal/obs"
+	"perdnn/internal/obs/tracing"
+)
+
+// This file defines the canonical order of a run's journals: the merge
+// rule that makes sharded output byte-identical to unsharded output.
+//
+// A sharded run records events and spans from several engines interleaved
+// through one shared journal/tracer, so record order (and the tracer's
+// allocation order for trace/span IDs) depends on goroutine scheduling.
+// What does NOT depend on scheduling is the content: the barrier protocol
+// makes every event's fields — virtual timestamps included — a pure
+// function of the configuration. Canonicalization therefore discards
+// order and identity and rebuilds both from content: events are sorted by
+// their full field tuple, and traces are re-ordered by their span content
+// with trace/span IDs renumbered sequentially in that order (parent links
+// remapped). Applying the same pass to the single-shard run yields the
+// same bytes.
+
+// canonicalEvents sorts a journal into canonical order (in place; the
+// slice is returned for convenience). The sort key is the entire event,
+// so any two journals holding the same multiset of events serialize
+// identically.
+func canonicalEvents(events []obs.Event) []obs.Event {
+	sort.Slice(events, func(i, j int) bool {
+		return eventCmp(&events[i], &events[j]) < 0
+	})
+	return events
+}
+
+func eventCmp(a, b *obs.Event) int {
+	switch {
+	case a.T != b.T:
+		return cmpDur(a.T, b.T)
+	case a.Type != b.Type:
+		return cmpStr(string(a.Type), string(b.Type))
+	case a.Client != b.Client:
+		return a.Client - b.Client
+	case a.Server != b.Server:
+		return a.Server - b.Server
+	case a.Target != b.Target:
+		return a.Target - b.Target
+	case a.Layers != b.Layers:
+		return a.Layers - b.Layers
+	case a.Bytes != b.Bytes:
+		return cmpI64(a.Bytes, b.Bytes)
+	default:
+		return cmpStr(a.Run, b.Run)
+	}
+}
+
+// canonicalSpans rewrites a span journal into canonical order: spans are
+// grouped by trace, each trace's spans are sorted root-first then by
+// content, traces are ordered by comparing their sorted span sequences,
+// and trace/span IDs are renumbered sequentially in that order with
+// parent links remapped (a parent that was never recorded — e.g. a query
+// still in flight at the end of the run — maps to 0). The rewrite uses no
+// part of the original IDs except the grouping and the parent structure,
+// so journals recorded under different schedules but with the same span
+// content serialize identically.
+func canonicalSpans(spans []tracing.Span) []tracing.Span {
+	if len(spans) == 0 {
+		return spans
+	}
+	groups := make(map[tracing.TraceID][]tracing.Span, len(spans)/2+1)
+	for _, s := range spans {
+		groups[s.Trace] = append(groups[s.Trace], s)
+	}
+	traces := make([][]tracing.Span, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return spanCmp(&g[i], &g[j]) < 0 })
+		traces = append(traces, g)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traceCmp(traces[i], traces[j]) < 0 })
+
+	out := make([]tracing.Span, 0, len(spans))
+	ids := make(map[tracing.SpanID]tracing.SpanID)
+	var nextSpan uint64
+	for ti, g := range traces {
+		clear(ids)
+		for i := range g {
+			nextSpan++
+			ids[g[i].ID] = tracing.SpanID(nextSpan)
+		}
+		for _, s := range g {
+			s.Trace = tracing.TraceID(ti + 1)
+			s.ID = ids[s.ID]
+			if p, ok := ids[s.Parent]; ok {
+				s.Parent = p
+			} else {
+				s.Parent = 0
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// spanCmp orders spans by content only — never by recorded IDs, which
+// depend on scheduling. Roots (spans recorded without a parent) sort
+// before children so a trace always leads with its root.
+func spanCmp(a, b *tracing.Span) int {
+	ar, br := 0, 0
+	if a.Parent != 0 {
+		ar = 1
+	}
+	if b.Parent != 0 {
+		br = 1
+	}
+	switch {
+	case ar != br:
+		return ar - br
+	case a.Start != b.Start:
+		return cmpDur(a.Start, b.Start)
+	case a.End != b.End:
+		return cmpDur(a.End, b.End)
+	case a.Stage != b.Stage:
+		return cmpStr(string(a.Stage), string(b.Stage))
+	case a.Node != b.Node:
+		return cmpStr(a.Node, b.Node)
+	default:
+		return cmpStr(a.Run, b.Run)
+	}
+}
+
+// traceCmp orders traces by comparing their sorted span sequences
+// lexicographically. Traces with identical content compare equal and are
+// interchangeable, so their relative order cannot affect the output.
+func traceCmp(a, b []tracing.Span) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := spanCmp(&a[i], &b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+func cmpDur[T ~int64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpI64(a, b int64) int { return cmpDur(a, b) }
+
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -199,23 +199,35 @@ type CityConfig struct {
 	// implicit per-client AP capacity; the ablation shows the effect at
 	// the evaluation's client densities.
 	SharedWireless bool
+	// Shards splits the run into that many region shards, each advancing
+	// its own event queue on its own goroutine and synchronizing at
+	// movement ticks (see DESIGN.md §16). 0 or 1 runs unsharded; counts
+	// above the server count are clamped. ModeRouting requires 1 shard:
+	// a routing client's queries execute at a home server that may sit in
+	// another shard's region. The journals and the result are
+	// byte-identical at every shard count.
+	Shards int
 	// RecordEvents enables the run's structured event journal: handoffs,
 	// cold starts, partial hits, run-local plan-cache misses, migration
 	// orders/completions, fractional-migration truncations, and (with a
 	// FaultModel) server outages, failovers, and local fallbacks land in
-	// CityResult.Events in engine order. The journal is a deterministic
-	// function of the configuration, so sweeps that concatenate per-run
-	// journals in run order serialize identically at every worker count.
+	// CityResult.Events in canonical order (sorted by full event content;
+	// see canonicalEvents). The journal is a deterministic function of
+	// the configuration, so sweeps that concatenate per-run journals in
+	// run order serialize identically at every worker count, and sharded
+	// runs serialize identically at every shard count.
 	RecordEvents bool
 	// RecordSpans enables the run's distributed-tracing journal: every
 	// query becomes a trace whose stage spans (client.compute,
 	// transfer.up, exec.compute, transfer.down) tile its end-to-end
 	// latency exactly, every handoff a plan trace parenting its
 	// upload.unit spans, and migrations and failovers instant spans —
-	// all stamped from the virtual clock and recorded in engine order
-	// into CityResult.Spans. Like the event journal, the span journal is
-	// a deterministic function of the configuration, byte-identical at
-	// every RunSweep worker count.
+	// all stamped from the virtual clock and recorded into
+	// CityResult.Spans in canonical order (traces ordered by content with
+	// IDs renumbered; see canonicalSpans). Like the event journal, the
+	// span journal is a deterministic function of the configuration,
+	// byte-identical at every RunSweep worker count and every shard
+	// count.
 	RecordSpans bool
 	// Faults injects server outages, master blackouts, and transient link
 	// spikes into the run (nil = fault-free). The realized fault schedule
@@ -343,12 +355,17 @@ type simClient struct {
 	home        geo.ServerID // routing mode: the server holding our layers
 	connectedAt time.Duration
 	gen         int // connection generation; stale events check it
+	// sh is the shard owning the client's current connection generation:
+	// every event of the generation runs on its engine. Reassigned only
+	// at tick time (with a gen bump), so in-flight events of an old
+	// generation keep running on — and touching only — their own shard.
+	sh *simShard
 
 	entry   *core.PlanEntry
 	curSet  LayerSet        // layers present for us at the current server
 	pending [][]dnn.LayerID // missing layers to upload, in schedule-unit chunks
 	split   partition.Split // decomposition of the current assignment
-	chain   bool            // a query chain is running
+	local   bool            // degraded to client-local execution
 
 	// upTrace/upPlan are the current handoff's trace and its plan span:
 	// the upload.unit spans of the session parent under them (zero when
@@ -398,7 +415,6 @@ func newSimMetrics() *simMetrics {
 
 // world wires everything together for one run.
 type world struct {
-	eng     *Engine
 	env     *Env
 	cfg     CityConfig
 	model   *dnn.Model
@@ -408,6 +424,12 @@ type world struct {
 	servers []*simServer
 	clients []*simClient
 	res     *CityResult
+
+	// smap assigns every server to a region shard; shards holds the
+	// per-shard engines and window-phase state. Unsharded runs are the
+	// one-shard special case of the same machinery.
+	smap   *geo.ShardMap
+	shards []*simShard
 
 	met     *simMetrics
 	journal *obs.Journal    // nil unless cfg.RecordEvents
@@ -423,21 +445,24 @@ type world struct {
 	// runs, so the journal records "first use within this run" instead,
 	// which is deterministic at every worker count.
 	seenPlans map[*core.PlanEntry]bool
-	// locBuf is the per-run location scratch splitFor decomposes through.
-	// The run is single-threaded, so one buffer serves every client.
-	locBuf []partition.Location
+}
+
+// shardOf returns the shard owning server id's region.
+func (w *world) shardOf(id geo.ServerID) *simShard {
+	return w.shards[w.smap.ShardOf(id)]
 }
 
 // splitFor decomposes the client's current assignment — the layers in its
-// curSet on the server, everything else on the client — through the world's
-// reused location scratch, so the per-upload re-decompositions in the query
-// loop allocate nothing.
+// curSet on the server, everything else on the client — through the owning
+// shard's reused location scratch, so the per-upload re-decompositions in
+// the query loop allocate nothing.
 func (w *world) splitFor(c *simClient) partition.Split {
+	sh := c.sh
 	n := w.model.NumLayers()
-	if cap(w.locBuf) < n {
-		w.locBuf = make([]partition.Location, n)
+	if cap(sh.locBuf) < n {
+		sh.locBuf = make([]partition.Location, n)
 	}
-	loc := w.locBuf[:n]
+	loc := sh.locBuf[:n]
 	for i := 0; i < n; i++ {
 		if c.curSet.Has(dnn.LayerID(i)) {
 			loc[i] = partition.AtServer
@@ -470,24 +495,27 @@ func (w *world) clientNode(id int) string {
 	return w.cliNames[id]
 }
 
-// event appends one journal entry at the current virtual time; a no-op
-// unless the run records events.
-func (w *world) event(t obs.EventType, client int, server, target geo.ServerID, layers int, bytes int64) {
+// event appends one journal entry at the given virtual time; a no-op
+// unless the run records events. Callers pass their own shard's clock (or
+// the tick time in the serial phase) — there is no global "current time"
+// once shards advance independently.
+func (w *world) event(now time.Duration, t obs.EventType, client int, server, target geo.ServerID, layers int, bytes int64) {
 	if w.journal == nil {
 		return
 	}
-	w.journal.Record(obs.NewEvent(w.eng.Now(), t, client, int(server), int(target), layers, bytes))
+	w.journal.Record(obs.NewEvent(now, t, client, int(server), int(target), layers, bytes))
 }
 
 // trackPlan notes the first time this run uses a plan entry, feeding the
-// plan_cache_miss metric and journal event.
-func (w *world) trackPlan(entry *core.PlanEntry, client int, sid geo.ServerID) {
+// plan_cache_miss metric and journal event. Tick phase only: seenPlans is
+// not synchronized.
+func (w *world) trackPlan(now time.Duration, entry *core.PlanEntry, client int, sid geo.ServerID) {
 	if w.seenPlans[entry] {
 		return
 	}
 	w.seenPlans[entry] = true
 	w.met.planMisses.Inc()
-	w.event(obs.EventPlanCacheMiss, client, sid, geo.NoServer,
+	w.event(now, obs.EventPlanCacheMiss, client, sid, geo.NoServer,
 		len(entry.Plan.ServerLayers()), entry.Plan.ServerBytes())
 }
 
@@ -496,9 +524,18 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) {
 	return RunCityContext(context.Background(), env, cfg)
 }
 
+// RunCitySharded executes one large-scale simulation run split across
+// `shards` region shards (see CityConfig.Shards); it overrides any shard
+// count already in cfg. The merged result — metrics, event journal, span
+// journal — is byte-identical to the unsharded run of the same config.
+func RunCitySharded(ctx context.Context, env *Env, cfg CityConfig, shards int) (*CityResult, error) {
+	cfg.Shards = shards
+	return RunCityContext(ctx, env, cfg)
+}
+
 // RunCityContext executes one large-scale simulation run under a context:
 // cancellation (or deadline expiry) is observed at the next movement tick,
-// drains the engine, and surfaces the context error.
+// stops every shard's engine, and surfaces the context error.
 func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult, error) {
 	if env == nil {
 		return nil, fmt.Errorf("edgesim: nil env")
@@ -508,6 +545,12 @@ func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult,
 	}
 	if cfg.TTLIntervals <= 0 || cfg.HistoryLen <= 0 || cfg.QueryGap <= 0 {
 		return nil, fmt.Errorf("edgesim: bad config: ttl=%d n=%d gap=%v", cfg.TTLIntervals, cfg.HistoryLen, cfg.QueryGap)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("edgesim: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.Mode == ModeRouting {
+		return nil, fmt.Errorf("edgesim: ModeRouting requires a single shard: a routing client's home server may sit in another shard's region")
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
@@ -535,7 +578,6 @@ func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult,
 	}
 
 	w := &world{
-		eng:       NewEngine(),
 		env:       env,
 		cfg:       cfg,
 		model:     m,
@@ -552,6 +594,15 @@ func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult,
 			Traffic: traffic,
 			Latency: NewLatencyHist(),
 		},
+	}
+	shardCount := cfg.Shards
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	w.smap = geo.NewShardMap(env.Placement, shardCount)
+	w.shards = make([]*simShard, w.smap.Count())
+	for i := range w.shards {
+		w.shards[i] = newSimShard(w, i)
 	}
 	if cfg.RecordEvents {
 		w.journal = obs.NewJournal()
@@ -603,38 +654,38 @@ func RunCityContext(ctx context.Context, env *Env, cfg CityConfig) (*CityResult,
 		w.srvDown = make([]bool, env.Placement.Len())
 	}
 
-	// Movement/prediction ticks. Each tick checks the context so a
-	// canceled run stops within one interval of virtual time.
-	for k := 0; k < steps; k++ {
-		step := k
-		w.eng.At(time.Duration(step)*env.Interval, func() {
-			if ctx.Err() != nil {
-				w.eng.Stop()
-				return
-			}
-			w.tick(step)
-		})
-	}
-	w.eng.Run(time.Duration(steps) * env.Interval)
-	if err := ctx.Err(); err != nil {
+	// Drive the barrier-synchronized tick/window loop (see runShards):
+	// serial movement ticks alternating with parallel per-shard windows.
+	if err := w.runShards(ctx, steps); err != nil {
 		return nil, fmt.Errorf("edgesim: run canceled: %w", err)
 	}
 
-	// Freeze the run's metrics: fold in the quiesced backhaul ledger, then
-	// snapshot the registry. The run is single-threaded, so the snapshot
-	// (and the journal) is a deterministic function of the configuration.
+	// Freeze the run's metrics: merge the per-shard window partials and
+	// fold in the quiesced backhaul ledger, then snapshot the registry.
+	// The journals are canonically ordered, so the whole result is a
+	// deterministic function of the configuration at every shard count.
+	for _, sh := range w.shards {
+		w.res.TotalQueries += sh.totalQueries
+		w.res.WindowQueries += sh.windowQueries
+		w.res.SumLatency += sh.sumLatency
+		w.res.Latency.Merge(sh.latency)
+	}
 	w.res.Traffic.RecordMetrics(w.met.reg)
 	w.res.Metrics = w.met.reg.Snapshot()
-	w.res.Events = w.journal.Events()
-	w.res.Spans = w.tracer.Spans()
+	w.res.Events = canonicalEvents(w.journal.Events())
+	w.res.Spans = canonicalSpans(w.tracer.Spans())
 	return w.res, nil
 }
 
 // tick advances every client to trajectory step k: fault-state updates,
 // movement, reconnection, cache refresh, and (PerDNN) proactive migration.
+// Ticks run serially on the coordinator while every shard engine sits at
+// the barrier, so cross-shard reads and writes (migration planning, store
+// touches, fault transitions) need no locks; they are ordered exactly as a
+// single-engine run orders them.
 func (w *world) tick(k int) {
-	w.updateFaults()
-	now := w.eng.Now()
+	now := time.Duration(k) * w.env.Interval
+	w.updateFaults(now)
 	for _, c := range w.clients {
 		if k >= c.tr.Len() {
 			continue
@@ -644,7 +695,7 @@ func (w *world) tick(k int) {
 		if sid == geo.NoServer {
 			sid = c.cur // hold the previous attachment in a dead zone
 		}
-		if w.faults != nil && w.faultStep(c, sid, pos) {
+		if w.faults != nil && w.faultStep(now, c, sid, pos) {
 			continue
 		}
 		switch {
@@ -659,10 +710,10 @@ func (w *world) tick(k int) {
 			w.res.Hits++
 			w.met.connections.Inc()
 			w.met.hits.Inc()
-			w.event(obs.EventHandoff, c.id, prev, sid, 0, 0)
+			w.event(now, obs.EventHandoff, c.id, prev, sid, 0, 0)
 			w.servers[c.home].store.touch(now, w.storeKey(c.id), w.ttl())
 		case sid != c.cur && sid != geo.NoServer:
-			w.reconnect(c, sid)
+			w.reconnect(now, c, sid)
 		case c.cur != geo.NoServer:
 			// Staying: keep our layers warm at the serving server.
 			serving := c.cur
@@ -673,7 +724,7 @@ func (w *world) tick(k int) {
 		}
 
 		if w.policy != nil && c.cur != geo.NoServer && k >= 1 {
-			w.migrate(c, k)
+			w.migrate(now, c, k)
 		}
 	}
 }
@@ -682,11 +733,10 @@ func (w *world) tick(k int) {
 // entering a window go down and lose their layer cache; servers leaving
 // one come back empty. Iteration is in server-ID order, so the journal is
 // deterministic.
-func (w *world) updateFaults() {
+func (w *world) updateFaults(now time.Duration) {
 	if w.faults == nil {
 		return
 	}
-	now := w.eng.Now()
 	for id := range w.servers {
 		down := w.faults.serverDown(geo.ServerID(id), now)
 		if down == w.srvDown[id] {
@@ -697,9 +747,9 @@ func (w *world) updateFaults() {
 			// A crashed server loses every cached layer.
 			w.servers[id].store = newLayerStore(w.model.NumLayers())
 			w.met.serverDowns.Inc()
-			w.event(obs.EventServerDown, 0, geo.ServerID(id), geo.NoServer, 0, 0)
+			w.event(now, obs.EventServerDown, 0, geo.ServerID(id), geo.NoServer, 0, 0)
 		} else {
-			w.event(obs.EventServerUp, 0, geo.ServerID(id), geo.NoServer, 0, 0)
+			w.event(now, obs.EventServerUp, 0, geo.ServerID(id), geo.NoServer, 0, 0)
 		}
 	}
 }
@@ -714,7 +764,7 @@ func (w *world) isDown(id geo.ServerID) bool {
 // reports whether it consumed the step: the serving server (the routing
 // home, or the cell server sid) is down, forcing a failover to a live
 // neighbor or a degradation to local execution.
-func (w *world) faultStep(c *simClient, sid geo.ServerID, pos geo.Point) bool {
+func (w *world) faultStep(now time.Duration, c *simClient, sid geo.ServerID, pos geo.Point) bool {
 	if w.cfg.Mode == ModeRouting && c.home != geo.NoServer && w.isDown(c.home) {
 		// The home server died, taking the session's layers with it:
 		// abandon routing and re-home at the current cell (or fail over
@@ -722,18 +772,18 @@ func (w *world) faultStep(c *simClient, sid geo.ServerID, pos geo.Point) bool {
 		home := c.home
 		c.home = geo.NoServer
 		if sid == geo.NoServer || w.isDown(sid) {
-			w.failover(c, home, pos)
+			w.failover(now, c, home, pos)
 			return true
 		}
 		w.res.Failovers++
 		w.met.failovers.Inc()
-		w.event(obs.EventFailover, c.id, home, sid, 0, 0)
-		w.instant(tracing.StageFailover, w.clientNode(c.id))
-		w.reconnect(c, sid)
+		w.event(now, obs.EventFailover, c.id, home, sid, 0, 0)
+		w.instant(now, tracing.StageFailover, w.clientNode(c.id))
+		w.reconnect(now, c, sid)
 		return true
 	}
 	if sid != geo.NoServer && w.isDown(sid) {
-		w.failover(c, sid, pos)
+		w.failover(now, c, sid, pos)
 		return true
 	}
 	return false
@@ -741,22 +791,22 @@ func (w *world) faultStep(c *simClient, sid geo.ServerID, pos geo.Point) bool {
 
 // failover reacts to a down server: re-partition to the nearest live
 // server within the failover radius, or degrade to local execution.
-func (w *world) failover(c *simClient, down geo.ServerID, pos geo.Point) {
+func (w *world) failover(now time.Duration, c *simClient, down geo.ServerID, pos geo.Point) {
 	nid := w.liveNeighbor(pos)
 	if nid == geo.NoServer {
-		w.localFallback(c, down)
+		w.localFallback(now, c, down)
 		return
 	}
 	if nid == c.cur {
 		// The previous attachment survives; keep our layers warm there.
-		w.servers[nid].store.touch(w.eng.Now(), w.storeKey(c.id), w.ttl())
+		w.servers[nid].store.touch(now, w.storeKey(c.id), w.ttl())
 		return
 	}
 	w.res.Failovers++
 	w.met.failovers.Inc()
-	w.event(obs.EventFailover, c.id, down, nid, 0, 0)
-	w.instant(tracing.StageFailover, w.clientNode(c.id))
-	w.reconnect(c, nid)
+	w.event(now, obs.EventFailover, c.id, down, nid, 0, 0)
+	w.instant(now, tracing.StageFailover, w.clientNode(c.id))
+	w.reconnect(now, c, nid)
 }
 
 // liveNeighbor returns the nearest live server within the failover radius
@@ -777,31 +827,33 @@ func (w *world) liveNeighbor(pos geo.Point) geo.ServerID {
 // localFallback detaches the client and degrades it to fully client-local
 // execution until a later tick finds a live server. down names the server
 // that failed it (or the one it could not attach to), for the journal.
-func (w *world) localFallback(c *simClient, down geo.ServerID) {
-	if c.cur == geo.NoServer && c.chain {
+// The fresh generation's local query chain stays on the shard of the
+// server that failed the client (its last known region).
+func (w *world) localFallback(now time.Duration, c *simClient, down geo.ServerID) {
+	if c.cur == geo.NoServer && c.local {
 		return // already running locally
 	}
 	c.gen++
+	if c.sh == nil {
+		c.sh = w.shardOf(down)
+	}
 	c.cur = geo.NoServer
+	c.local = true
 	c.entry = nil
 	c.pending = c.pending[:0]
 	c.curSet.Reset(w.model.NumLayers())
 	c.split = partition.Split{}
 	w.res.LocalFallbacks++
 	w.met.localFallbks.Inc()
-	w.event(obs.EventLocalFallback, c.id, down, geo.NoServer, 0, 0)
-	w.instant(tracing.StageFailover, w.clientNode(c.id))
-	if !c.chain {
-		c.chain = true
-		w.issueQuery(c)
-	}
+	w.event(now, obs.EventLocalFallback, c.id, down, geo.NoServer, 0, 0)
+	w.instant(now, tracing.StageFailover, w.clientNode(c.id))
+	w.issueQuery(c)
 }
 
 // instant records a zero-duration marker span on a fresh trace of its
 // own (failover and local-fallback have no duration in the sim — the
 // query they interrupt carries the latency).
-func (w *world) instant(stage tracing.Stage, node string) {
-	now := w.eng.Now()
+func (w *world) instant(now time.Duration, stage tracing.Stage, node string) {
 	w.tracer.Record(w.tracer.NewTrace(), 0, stage, node, now, now)
 }
 
@@ -818,20 +870,24 @@ func (w *world) storeKey(clientID int) int {
 	return clientID
 }
 
-// transfer schedules `then` after a wireless transfer of duration base to
-// or from server sid. Under SharedWireless the duration stretches by the
-// number of transfers already active on that AP (an approximation of
-// processor sharing: rates are fixed at transfer start).
-func (w *world) transfer(sid geo.ServerID, base time.Duration, then func()) {
-	base = w.faults.stretch(base) // transient wireless spikes (nil-safe)
+// transfer schedules `then` on the given shard's engine after a wireless
+// transfer of duration base to or from server sid. Under SharedWireless
+// the duration stretches by the number of transfers already active on
+// that AP (an approximation of processor sharing: rates are fixed at
+// transfer start). sid must belong to sh's region: the AP's wireless
+// counter is only coherent on its owner shard. client and kind name the
+// transfer for the link-spike hash (see faultState.stretch).
+func (w *world) transfer(sh *simShard, client, kind int, sid geo.ServerID, base time.Duration, then func()) {
+	// Transient wireless spikes (nil-safe).
+	base = w.faults.stretch(sh.eng.Now(), client, kind, base)
 	if base <= 0 || sid == geo.NoServer || !w.cfg.SharedWireless {
-		w.eng.After(base, then)
+		sh.eng.After(base, then)
 		return
 	}
 	srv := w.servers[sid]
 	d := base * time.Duration(srv.wireless+1)
 	srv.wireless++
-	w.eng.After(d, func() {
+	sh.eng.After(d, func() {
 		srv.wireless--
 		then()
 	})
@@ -840,23 +896,26 @@ func (w *world) transfer(sid geo.ServerID, base time.Duration, then func()) {
 // reconnect attaches the client to a new edge server: computes the current
 // partitioning plan from the server's live GPU statistics, classifies the
 // hit/miss state of the cached layers, and restarts the upload and query
-// chains.
-func (w *world) reconnect(c *simClient, sid geo.ServerID) {
-	now := w.eng.Now()
+// chains. The fresh connection generation is owned by the new server's
+// shard; the previous generation's in-flight events stay on their old
+// shard and expire against the bumped generation counter.
+func (w *world) reconnect(now time.Duration, c *simClient, sid geo.ServerID) {
 	if w.faults != nil && w.faults.masterDown(now) {
 		// No control plane, no plan: run locally until the next handoff
 		// attempt finds the master back.
-		w.localFallback(c, sid)
+		w.localFallback(now, c, sid)
 		return
 	}
 	prev := c.cur
 	c.gen++
 	c.cur = sid
+	c.sh = w.shardOf(sid)
+	c.local = false
 	c.connectedAt = now
 	srv := w.servers[sid]
 	w.res.Connections++
 	w.met.connections.Inc()
-	w.event(obs.EventHandoff, c.id, prev, sid, 0, 0)
+	w.event(now, obs.EventHandoff, c.id, prev, sid, 0, 0)
 
 	entry, err := w.planner.PlanFor(srv.gpu.Sample(now))
 	if err != nil {
@@ -868,7 +927,7 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 	c.upTrace = w.tracer.NewTrace()
 	c.upPlan = w.tracer.Record(c.upTrace, 0, tracing.StagePlan, nodeMaster, now, now)
 	c.entry = entry
-	w.trackPlan(entry, c.id, sid)
+	w.trackPlan(now, entry, c.id, sid)
 	planLayers := entry.Plan.ServerLayers()
 
 	c.curSet.Reset(w.model.NumLayers())
@@ -882,7 +941,7 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 		// routing client only ever uploads once (to its home).
 		w.res.Misses++
 		w.met.misses.Inc()
-		w.event(obs.EventColdStart, c.id, sid, geo.NoServer, len(planLayers), 0)
+		w.event(now, obs.EventColdStart, c.id, sid, geo.NoServer, len(planLayers), 0)
 		c.home = sid
 	case ModePerDNN:
 		cached, ok := srv.store.get(now, w.storeKey(c.id))
@@ -902,11 +961,11 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 		case have == 0:
 			w.res.Misses++
 			w.met.misses.Inc()
-			w.event(obs.EventColdStart, c.id, sid, geo.NoServer, len(planLayers), 0)
+			w.event(now, obs.EventColdStart, c.id, sid, geo.NoServer, len(planLayers), 0)
 		default:
 			w.res.Partials++
 			w.met.partials.Inc()
-			w.event(obs.EventPartialHit, c.id, sid, geo.NoServer, have, 0)
+			w.event(now, obs.EventPartialHit, c.id, sid, geo.NoServer, have, 0)
 		}
 		srv.store.touch(now, w.storeKey(c.id), w.ttl())
 	}
@@ -927,10 +986,7 @@ func (w *world) reconnect(c *simClient, sid geo.ServerID) {
 	c.split = w.splitFor(c)
 
 	w.uploadNext(c, c.gen)
-	if !c.chain {
-		c.chain = true
-		w.issueQuery(c)
-	}
+	w.issueQuery(c)
 }
 
 // scheduleLayers counts the layers across a schedule's upload units.
@@ -942,11 +998,14 @@ func scheduleLayers(units []partition.UploadUnit) int {
 	return n
 }
 
-// uploadNext ships the next missing chunk over the wireless uplink.
+// uploadNext ships the next missing chunk over the wireless uplink. It
+// only ever runs for the client's live generation (callers check gen), so
+// c.sh is the shard owning both the client's chain and the serving AP.
 func (w *world) uploadNext(c *simClient, gen int) {
 	if w.cfg.Mode == ModeOptimal || c.gen != gen || len(c.pending) == 0 {
 		return
 	}
+	sh := c.sh
 	chunk := c.pending[0]
 	c.pending = c.pending[1:]
 	var bytes int64
@@ -957,14 +1016,14 @@ func (w *world) uploadNext(c *simClient, gen int) {
 	if w.cfg.Mode == ModeRouting && c.home != geo.NoServer {
 		sid = c.home
 	}
-	start := w.eng.Now()
-	w.transfer(c.cur, w.cfg.Link.UpTime(bytes), func() {
+	start := sh.eng.Now()
+	w.transfer(sh, c.id, linkKindUpload, c.cur, w.cfg.Link.UpTime(bytes), func() {
 		if c.gen != gen {
 			return
 		}
 		w.tracer.Record(c.upTrace, c.upPlan, tracing.StageUploadUnit,
-			w.clientNode(c.id), start, w.eng.Now())
-		w.servers[sid].store.add(w.eng.Now(), w.storeKey(c.id), chunk, w.ttl())
+			w.clientNode(c.id), start, sh.eng.Now())
+		w.servers[sid].store.add(sh.eng.Now(), w.storeKey(c.id), chunk, w.ttl())
 		c.curSet.AddAll(chunk)
 		c.split = w.splitFor(c)
 		w.uploadNext(c, gen)
@@ -972,11 +1031,15 @@ func (w *world) uploadNext(c *simClient, gen int) {
 }
 
 // issueQuery runs one DNN query and chains the next one QueryGap after it
-// completes. Exactly one chain runs per client; when the client reconnects
-// mid-query, the in-flight query finishes against the old server and the
-// chain continues under the new connection.
+// completes. Exactly one chain runs per connection generation: reconnect
+// and localFallback bump the generation and start a fresh chain on the new
+// shard, while the old chain's in-flight query finishes against the state
+// it captured at issue (on its old shard) and then expires instead of
+// chaining. Must be called only for the client's live generation.
 func (w *world) issueQuery(c *simClient) {
-	now := w.eng.Now()
+	sh := c.sh
+	gen := c.gen
+	now := sh.eng.Now()
 	connectedAt := c.connectedAt
 	sp := c.split
 	issue := now
@@ -989,17 +1052,22 @@ func (w *world) issueQuery(c *simClient) {
 	cnode := w.clientNode(c.id)
 
 	finish := func(lat time.Duration) {
-		w.tracer.RecordWith(qt, root, 0, tracing.StageQuery, cnode, issue, w.eng.Now())
-		w.res.TotalQueries++
-		w.res.SumLatency += lat
-		w.res.Latency.Add(lat)
+		w.tracer.RecordWith(qt, root, 0, tracing.StageQuery, cnode, issue, sh.eng.Now())
+		sh.totalQueries++
+		sh.sumLatency += lat
+		sh.latency.Add(lat)
 		w.met.queries.Inc()
 		w.met.latency.ObserveDuration(lat)
 		if issue-connectedAt <= w.env.Interval {
-			w.res.WindowQueries++
+			sh.windowQueries++
 			w.met.windowQueries.Inc()
 		}
-		w.eng.After(w.cfg.QueryGap, func() { w.issueQuery(c) })
+		sh.eng.After(w.cfg.QueryGap, func() {
+			if c.gen != gen {
+				return // the client reconnected; its new chain took over
+			}
+			w.issueQuery(c)
+		})
 	}
 
 	if c.cur == geo.NoServer || sp.ServerBase == 0 {
@@ -1008,9 +1076,9 @@ func (w *world) issueQuery(c *simClient) {
 		if c.cur == geo.NoServer {
 			lat = w.prof.TotalClientTime()
 		}
-		w.eng.After(lat, func() {
-			w.tracer.Record(qt, root, tracing.StageClientCompute, cnode, issue, w.eng.Now())
-			finish(w.eng.Now() - issue)
+		sh.eng.After(lat, func() {
+			w.tracer.Record(qt, root, tracing.StageClientCompute, cnode, issue, sh.eng.Now())
+			finish(sh.eng.Now() - issue)
 		})
 		return
 	}
@@ -1032,21 +1100,21 @@ func (w *world) issueQuery(c *simClient) {
 	}
 	srv := w.servers[exec]
 	ap := c.cur // the wireless hop is always at the client's current AP
-	w.eng.After(sp.ClientTime, func() {
-		w.tracer.Record(qt, root, tracing.StageClientCompute, cnode, issue, w.eng.Now())
-		upStart := w.eng.Now()
-		w.transfer(ap, w.cfg.Link.UpTime(sp.UpBytes)+routeUp, func() {
-			w.tracer.Record(qt, root, tracing.StageTransferUp, cnode, upStart, w.eng.Now())
-			srv.gpu.Begin(w.eng.Now())
-			execTime := srv.gpu.ExecTime(sp.ServerBase, sp.Intensity, w.eng.Now())
-			execStart := w.eng.Now()
-			w.eng.After(execTime, func() {
+	sh.eng.After(sp.ClientTime, func() {
+		w.tracer.Record(qt, root, tracing.StageClientCompute, cnode, issue, sh.eng.Now())
+		upStart := sh.eng.Now()
+		w.transfer(sh, c.id, linkKindQueryUp, ap, w.cfg.Link.UpTime(sp.UpBytes)+routeUp, func() {
+			w.tracer.Record(qt, root, tracing.StageTransferUp, cnode, upStart, sh.eng.Now())
+			srv.gpu.Begin(sh.eng.Now())
+			execTime := srv.gpu.ExecTime(sp.ServerBase, sp.Intensity, sh.eng.Now())
+			execStart := sh.eng.Now()
+			sh.eng.After(execTime, func() {
 				srv.gpu.End()
-				w.tracer.Record(qt, root, tracing.StageExecCompute, w.serverNode(exec), execStart, w.eng.Now())
-				downStart := w.eng.Now()
-				w.transfer(ap, w.cfg.Link.DownTime(sp.DownBytes)+routeDown, func() {
-					w.tracer.Record(qt, root, tracing.StageTransferDown, cnode, downStart, w.eng.Now())
-					finish(w.eng.Now() - issue)
+				w.tracer.Record(qt, root, tracing.StageExecCompute, w.serverNode(exec), execStart, sh.eng.Now())
+				downStart := sh.eng.Now()
+				w.transfer(sh, c.id, linkKindQueryDown, ap, w.cfg.Link.DownTime(sp.DownBytes)+routeDown, func() {
+					w.tracer.Record(qt, root, tracing.StageTransferDown, cnode, downStart, sh.eng.Now())
+					finish(sh.eng.Now() - issue)
 				})
 			})
 		})
@@ -1054,8 +1122,9 @@ func (w *world) issueQuery(c *simClient) {
 }
 
 // migrate pushes the client's layers toward its predicted next servers.
-func (w *world) migrate(c *simClient, k int) {
-	now := w.eng.Now()
+// Tick phase only: it reads and writes stores across shard boundaries,
+// which is safe exactly because every shard engine sits at the barrier.
+func (w *world) migrate(now time.Duration, c *simClient, k int) {
 	lo := k - w.cfg.HistoryLen + 1
 	if lo < 0 {
 		lo = 0
@@ -1086,12 +1155,12 @@ func (w *world) migrate(c *simClient, k int) {
 		if err != nil {
 			panic(fmt.Sprintf("edgesim: future plan: %v", err))
 		}
-		w.trackPlan(entry, c.id, tid)
+		w.trackPlan(now, entry, c.id, tid)
 		sched := w.policy.TruncateForTransfer(entry.Schedule, c.cur, tid)
 		if dropped := scheduleLayers(entry.Schedule) - scheduleLayers(sched); dropped > 0 {
 			w.met.truncations.Inc()
 			w.met.truncatedLayers.Add(int64(dropped))
-			w.event(obs.EventFractionTruncated, c.id, c.cur, tid, dropped, w.policy.CapBytes(c.cur, tid))
+			w.event(now, obs.EventFractionTruncated, c.id, c.cur, tid, dropped, w.policy.CapBytes(c.cur, tid))
 		}
 
 		// Send what the source has and the target lacks, in schedule order.
@@ -1120,24 +1189,28 @@ func (w *world) migrate(c *simClient, k int) {
 		w.res.Traffic.AddDown(tid, now, bytes)
 		w.met.migOrdered.Inc()
 		w.met.migBytes.Add(bytes)
-		w.event(obs.EventMigrationOrdered, c.id, c.cur, tid, len(send), bytes)
+		w.event(now, obs.EventMigrationOrdered, c.id, c.cur, tid, len(send), bytes)
 		// One trace per migration: an order instant on the source server's
 		// track, and a completion instant on the target's track parented to
 		// it (a cross-node flow arrow in the Perfetto export). If the target
-		// dies in transit the completion is simply never recorded.
+		// dies in transit the completion is simply never recorded. The
+		// completion mutates the target's store, so it is scheduled on the
+		// target's shard — the sharded analogue of a cross-shard migration
+		// order delivered over the wire.
 		mt := w.tracer.NewTrace()
 		order := w.tracer.Record(mt, 0, tracing.StageMigrate, w.serverNode(c.cur), now, now)
 		layers := send
 		key := w.storeKey(c.id)
 		from := c.cur
-		w.eng.After(w.cfg.Backhaul.TransferTime(bytes), func() {
+		dsh := w.shardOf(tid)
+		dsh.eng.After(w.cfg.Backhaul.TransferTime(bytes), func() {
 			if w.isDown(tid) {
 				return // the target died in transit; the layers are lost
 			}
-			dst.store.add(w.eng.Now(), key, layers, w.ttl())
+			done := dsh.eng.Now()
+			dst.store.add(done, key, layers, w.ttl())
 			w.met.migCompleted.Inc()
-			w.event(obs.EventMigrationCompleted, c.id, from, tid, len(layers), bytes)
-			done := w.eng.Now()
+			w.event(done, obs.EventMigrationCompleted, c.id, from, tid, len(layers), bytes)
 			w.tracer.Record(mt, order, tracing.StageMigrate, w.serverNode(tid), done, done)
 		})
 	}

@@ -90,6 +90,26 @@ func (e *Engine) Run(until time.Duration) {
 	}
 }
 
+// RunBefore executes every event strictly earlier than t, then advances
+// virtual time to exactly t with events at t still queued. This is the
+// sharded runner's window phase: each shard drains its region's events up
+// to — but not including — the next movement tick, so the serial tick
+// callback runs before any same-timestamp window event, exactly as the
+// single-engine Run orders them (the pre-scheduled ticks carry the lowest
+// sequence numbers at their timestamps).
+//
+//perdnn:hotpath the shard window loop executes millions of events per simulated run
+func (e *Engine) RunBefore(t time.Duration) {
+	for len(e.pq) > 0 && e.pq[0].at < t {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.pq) }
 

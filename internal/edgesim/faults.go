@@ -22,10 +22,12 @@ func (w FaultWindow) Contains(t time.Duration) bool {
 // FaultModel injects failures into a city run: per-server outage windows
 // (a downed server loses its layer cache and serves nothing), master
 // blackouts (no new partitioning plans), and transient wireless latency
-// spikes. All randomness is drawn from Seed and from the run's
-// single-threaded engine order, so a faulty run — including its event
-// journal — is a deterministic function of the configuration and is
-// byte-identical at every RunSweep worker count.
+// spikes. The outage schedule is realized from Seed up front in server-ID
+// order, and each link-spike draw is a pure hash of (Seed, virtual time,
+// client, transfer kind) — never of engine scheduling order — so a faulty
+// run, including its event journal, is a deterministic function of the
+// configuration and is byte-identical at every RunSweep worker count and
+// every RunCitySharded shard count.
 //
 // A nil *FaultModel (the CityConfig default) injects nothing.
 type FaultModel struct {
@@ -112,12 +114,12 @@ func (f *FaultModel) failoverRadius() float64 {
 	return f.FailoverRadius
 }
 
-// faultState is one run's realized fault schedule plus its transient-fault
-// RNG. It belongs to a single world and is consumed in engine order.
+// faultState is one run's realized fault schedule. Every query after
+// construction is a pure function of its arguments, so shards may consult
+// it concurrently without coordination.
 type faultState struct {
 	model   *FaultModel
 	outages [][]FaultWindow // per server ID, sorted and merged
-	linkRNG *rand.Rand
 }
 
 // mergeWindows sorts windows and coalesces overlapping/adjacent ones.
@@ -147,8 +149,6 @@ func newFaultState(f *FaultModel, servers, steps int, interval time.Duration) *f
 	s := &faultState{
 		model:   f,
 		outages: make([][]FaultWindow, servers),
-		// Offset the stream so link draws are independent of window draws.
-		linkRNG: rand.New(rand.NewSource(f.Seed ^ 0x5dee7e11)),
 	}
 	rng := rand.New(rand.NewSource(f.Seed))
 	for id := 0; id < servers; id++ {
@@ -192,14 +192,37 @@ func (s *faultState) masterDown(t time.Duration) bool {
 	return false
 }
 
-// stretch applies a transient link spike to a transfer duration, drawing
-// from the run-local RNG (deterministic in engine order).
-func (s *faultState) stretch(base time.Duration) time.Duration {
+// Transfer kinds naming the spike-draw identity of each wireless transfer
+// a client can have in flight.
+const (
+	linkKindUpload    = iota // a layer-upload chunk
+	linkKindQueryUp          // a query's input tensor
+	linkKindQueryDown        // a query's output tensor
+)
+
+// stretch applies a transient link spike to a transfer duration. The draw
+// is a pure hash of the transfer's identity — the fault seed, the virtual
+// start time, the client, and the transfer kind — so it is independent of
+// engine scheduling order: sharded and unsharded runs spike exactly the
+// same transfers.
+func (s *faultState) stretch(now time.Duration, client, kind int, base time.Duration) time.Duration {
 	if s == nil || base <= 0 || s.model.LinkFaultProb <= 0 {
 		return base
 	}
-	if s.linkRNG.Float64() < s.model.LinkFaultProb {
+	h := splitmix64(uint64(s.model.Seed) ^ 0x5dee7e11)
+	h = splitmix64(h ^ uint64(now))
+	h = splitmix64(h ^ uint64(client)<<2 ^ uint64(kind))
+	if float64(h>>11)/(1<<53) < s.model.LinkFaultProb {
 		return time.Duration(float64(base) * s.model.spikeFactor())
 	}
 	return base
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash
+// step used to turn transfer identities into uniform draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

@@ -45,6 +45,19 @@ func (h *LatencyHist) Add(d time.Duration) {
 // Count returns the number of recorded samples.
 func (h *LatencyHist) Count() int64 { return h.total }
 
+// Merge folds another histogram into h. Buckets are fixed, so merging
+// per-shard histograms yields exactly the histogram a single-threaded run
+// would have accumulated.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+}
+
 // Quantile returns the latency at quantile q in [0,1]. It returns 0 for an
 // empty histogram.
 func (h *LatencyHist) Quantile(q float64) time.Duration {

@@ -60,6 +60,20 @@ type Config struct {
 	Objective partition.Objective
 	// EstimatorSeed seeds the offline estimator training.
 	EstimatorSeed int64
+	// Shard and Shards enable shard-owner mode: this master owns region
+	// Shard of Shards total, computed by geo.NewShardMap over the full
+	// edge placement (every shard master is configured with the complete
+	// edge set so the map is identical everywhere). Trajectory reports for
+	// clients that crossed out of the region are handed off to the owning
+	// peer (MsgShardHandoff) and answered with a redirect; predicted
+	// migration targets in another region are routed to that region's
+	// master (MsgShardMigrate). Shards <= 1 keeps single-master behavior.
+	Shard  int
+	Shards int
+	// Peers[i] is the listen address of shard i's master; required (and
+	// must have length Shards) when Shards > 1. Peers[Shard] names this
+	// master and is only used in redirects.
+	Peers []string
 	// Estimator, when non-nil, is used instead of training one at startup
 	// (load it from perdnn-estimator's JSON output).
 	Estimator *estimator.ServerEstimator
@@ -94,7 +108,9 @@ type Master struct {
 	log       *slog.Logger
 	met       *obs.Registry
 	tr        *tracing.Tracer
-	edges     *wire.Pool // reused conns for stats pings and migration orders
+	edges     *wire.Pool    // reused conns for stats pings and migration orders
+	smap      *geo.ShardMap // region ownership map; nil in single-master mode
+	peers     *wire.Pool    // shard-to-shard conns for handoffs and migrations; nil unless sharded
 
 	mu       sync.Mutex
 	planners map[dnn.ModelName]*core.Planner
@@ -121,6 +137,14 @@ func New(cfg Config) (*Master, error) {
 	}
 	if cfg.CellRadius <= 0 || cfg.Radius <= 0 || cfg.HistoryLen <= 0 {
 		return nil, fmt.Errorf("master: bad geometry config %+v", cfg)
+	}
+	if cfg.Shards > 1 {
+		if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+			return nil, fmt.Errorf("master: shard %d outside [0,%d)", cfg.Shard, cfg.Shards)
+		}
+		if len(cfg.Peers) != cfg.Shards {
+			return nil, fmt.Errorf("master: %d peer addresses for %d shards", len(cfg.Peers), cfg.Shards)
+		}
 	}
 	pts := make([]geo.Point, 0, len(cfg.Edges))
 	for _, e := range cfg.Edges {
@@ -163,12 +187,15 @@ func New(cfg Config) (*Master, error) {
 		log:       logger,
 		met:       obs.NewRegistry(),
 		tr:        cfg.Tracer,
-		edges:     wire.NewPool(),
 		planners:  make(map[dnn.ModelName]*core.Planner, 4),
 		clients:   make(map[int]*clientState, 8),
 		closed:    make(chan struct{}),
 	}
-	m.edges.RegisterMetrics(m.met, "edge_pool_")
+	m.edges = wire.NewRegisteredPool(m.met, "edge")
+	if cfg.Shards > 1 {
+		m.smap = geo.NewShardMap(pl, cfg.Shards)
+		m.peers = wire.NewRegisteredPool(m.met, "shard")
+	}
 	return m, nil
 }
 
@@ -260,6 +287,11 @@ func (m *Master) Close() error {
 		if perr := m.edges.Close(); perr != nil {
 			m.log.Warn("closing edge pool", "err", perr)
 		}
+		if m.peers != nil {
+			if perr := m.peers.Close(); perr != nil {
+				m.log.Warn("closing shard pool", "err", perr)
+			}
+		}
 		m.mu.Lock()
 		ln := m.ln
 		m.mu.Unlock()
@@ -310,7 +342,24 @@ func (m *Master) dispatch(ctx context.Context, req *wire.Envelope) *wire.Envelop
 		if req.Trajectory == nil {
 			return ackErr(errors.New("master: trajectory without body"))
 		}
-		return ackErr(m.trajectory(ctx, req.Trajectory))
+		redirect, err := m.trajectory(ctx, req.Trajectory)
+		if redirect != nil {
+			return redirect
+		}
+		return ackErr(err)
+	case wire.MsgShardHandoff:
+		if req.Handoff == nil {
+			return ackErr(errors.New("master: shard handoff without body"))
+		}
+		start := m.tr.Now()
+		err := m.adoptClient(req.Handoff)
+		m.recordStage(req.Trace, tracing.StageHandoff, start)
+		return ackErr(err)
+	case wire.MsgShardMigrate:
+		if req.ShardMig == nil {
+			return ackErr(errors.New("master: shard migrate without body"))
+		}
+		return ackErr(m.acceptShardMigration(ctx, req.ShardMig))
 	case wire.MsgPlanRequest:
 		if req.PlanReq == nil {
 			return ackErr(errors.New("master: plan request without body"))
@@ -334,30 +383,49 @@ func (m *Master) register(r *wire.Register) error {
 	m.log.Info("client registered", "client", r.ClientID, "model", string(r.Model))
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.planners[r.Model]; !ok {
-		model, err := dnn.ZooModel(r.Model)
-		if err != nil {
-			return err
-		}
-		prof := profile.NewModelProfile(model, profile.ClientODROID(), profile.ServerTitanXp())
-		pl, err := core.NewPlanner(prof, m.est, m.cfg.Link)
-		if err != nil {
-			return err
-		}
-		m.planners[r.Model] = pl
+	if err := m.ensurePlannerLocked(r.Model); err != nil {
+		return err
+	}
+	if cs, ok := m.clients[r.ClientID]; ok && cs.model == r.Model {
+		// Idempotent re-registration — in particular a client re-homing
+		// onto this master after a shard handoff. The adopted trajectory
+		// history survives, so prediction resumes without a warm-up gap.
+		return nil
 	}
 	m.clients[r.ClientID] = &clientState{model: r.Model}
 	return nil
 }
 
+// ensurePlannerLocked builds the model's planner from its DNN profile if
+// one does not exist yet. Callers hold m.mu.
+func (m *Master) ensurePlannerLocked(model dnn.ModelName) error {
+	if _, ok := m.planners[model]; ok {
+		return nil
+	}
+	mod, err := dnn.ZooModel(model)
+	if err != nil {
+		return err
+	}
+	prof := profile.NewModelProfile(mod, profile.ClientODROID(), profile.ServerTitanXp())
+	pl, err := core.NewPlanner(prof, m.est, m.cfg.Link)
+	if err != nil {
+		return err
+	}
+	m.planners[model] = pl
+	return nil
+}
+
 // trajectory updates a client's history and triggers proactive migration.
-func (m *Master) trajectory(ctx context.Context, t *wire.Trajectory) error {
+// In shard-owner mode, a client whose latest point crossed out of this
+// master's region is handed off to the owning peer; the report is then
+// answered with the returned non-nil redirect envelope instead of an Ack.
+func (m *Master) trajectory(ctx context.Context, t *wire.Trajectory) (*wire.Envelope, error) {
 	m.met.Counter("trajectory_points_total").Add(int64(len(t.Points)))
 	m.mu.Lock()
 	cs, ok := m.clients[t.ClientID]
 	if !ok {
 		m.mu.Unlock()
-		return fmt.Errorf("master: unknown client %d", t.ClientID)
+		return nil, fmt.Errorf("master: unknown client %d", t.ClientID)
 	}
 	cs.history = append(cs.history, t.Points...)
 	if len(cs.history) > m.cfg.HistoryLen {
@@ -369,8 +437,14 @@ func (m *Master) trajectory(ctx context.Context, t *wire.Trajectory) error {
 	pred := m.predictor
 	m.mu.Unlock()
 
+	if m.smap != nil && len(recent) > 0 {
+		if to := m.smap.ShardAt(recent[len(recent)-1]); to != m.cfg.Shard {
+			return m.handoffClient(ctx, t.ClientID, model, to, recent)
+		}
+	}
+
 	if len(recent) < 2 {
-		return nil
+		return nil, nil
 	}
 	cur := m.placement.ServerAt(recent[len(recent)-1])
 	pol := &core.MigrationPolicy{
@@ -382,13 +456,22 @@ func (m *Master) trajectory(ctx context.Context, t *wire.Trajectory) error {
 	}
 	targets, ok := pol.Targets(recent, cur)
 	if !ok || cur == geo.NoServer {
-		return nil
+		return nil, nil
 	}
 	curAddr, ok := m.EdgeAddr(cur)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	for _, tid := range targets {
+		if m.smap != nil {
+			if owner := m.smap.ShardOf(tid); owner != m.cfg.Shard {
+				// The predicted destination sits in another region: its
+				// owner has the live view of that region's edges, so route
+				// the order there instead of planning against a foreign GPU.
+				m.orderShardMigration(ctx, model, t.ClientID, curAddr, tid, owner)
+				continue
+			}
+		}
 		if err := m.orderMigration(ctx, model, t.ClientID, curAddr, tid); err != nil {
 			m.met.Counter("migration_errors_total").Inc()
 			m.log.Warn("migration order failed", "client", t.ClientID, "target", int(tid), "err", err)
@@ -397,6 +480,177 @@ func (m *Master) trajectory(ctx context.Context, t *wire.Trajectory) error {
 		m.met.Counter("migrations_ordered_total").Inc()
 		m.log.Debug("migration ordered", "client", t.ClientID, "target", int(tid))
 	}
+	return nil, nil
+}
+
+// handoffClient transfers ownership of a client that crossed into another
+// shard's region: the owning peer adopts the registration and trajectory
+// history over MsgShardHandoff, the local state is dropped, and the
+// client's report is answered with a redirect — a MsgShardHandoff envelope
+// naming the new master's address, with no history attached. When the peer
+// cannot be reached the master keeps ownership (nil redirect, nil error):
+// the client stays served here and the next report retries the handoff.
+func (m *Master) handoffClient(ctx context.Context, client int, model dnn.ModelName, to int, history []geo.Point) (*wire.Envelope, error) {
+	addr := m.cfg.Peers[to]
+	hctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
+	defer cancel()
+	// One trace per handoff, rooted at the sending master; the context
+	// rides the request so the peer's adoption span links under it.
+	ht := m.tr.NewTrace()
+	span := m.tr.NewSpanID()
+	start := m.tr.Now()
+	resp, err := m.peers.RoundTrip(hctx, addr, &wire.Envelope{
+		Type: wire.MsgShardHandoff,
+		Handoff: &wire.ShardHandoff{
+			ClientID:  client,
+			Model:     model,
+			FromShard: m.cfg.Shard,
+			ToShard:   to,
+			Addr:      addr,
+			History:   history,
+		},
+		Trace: tracing.SpanContext{Trace: ht, Span: span},
+	})
+	if err == nil && (resp.Ack == nil || !resp.Ack.OK) {
+		err = fmt.Errorf("master: shard %d rejected handoff", to)
+	}
+	if err != nil {
+		m.met.Counter("shard_handoff_errors_total").Inc()
+		m.log.Warn("shard handoff failed; keeping client", "client", client, "to", to, "err", err)
+		return nil, nil
+	}
+	m.mu.Lock()
+	delete(m.clients, client)
+	m.mu.Unlock()
+	m.tr.RecordWith(ht, span, 0, tracing.StageHandoff, nodeMaster, start, m.tr.Now())
+	m.met.Counter("shard_handoffs_total").Inc()
+	m.log.Info("client handed off", "client", client, "to", to, "addr", addr)
+	return &wire.Envelope{
+		Type: wire.MsgShardHandoff,
+		Handoff: &wire.ShardHandoff{
+			ClientID:  client,
+			Model:     model,
+			FromShard: m.cfg.Shard,
+			ToShard:   to,
+			Addr:      addr,
+		},
+	}, nil
+}
+
+// adoptClient installs a client handed off by a peer shard master: the
+// model's planner is built if this is the region's first client of that
+// model, and the registration resumes with the sender's trajectory history
+// so mobility prediction continues without a warm-up gap.
+func (m *Master) adoptClient(h *wire.ShardHandoff) error {
+	if m.smap == nil {
+		return errors.New("master: shard handoff sent to an unsharded master")
+	}
+	if h.ToShard != m.cfg.Shard {
+		return fmt.Errorf("master: handoff addressed to shard %d, this is shard %d", h.ToShard, m.cfg.Shard)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.ensurePlannerLocked(h.Model); err != nil {
+		return err
+	}
+	hist := make([]geo.Point, len(h.History))
+	copy(hist, h.History)
+	if len(hist) > m.cfg.HistoryLen {
+		hist = hist[len(hist)-m.cfg.HistoryLen:]
+	}
+	m.clients[h.ClientID] = &clientState{model: h.Model, history: hist}
+	m.met.Counter("shard_adoptions_total").Inc()
+	m.log.Info("client adopted", "client", h.ClientID, "from", h.FromShard)
+	return nil
+}
+
+// orderShardMigration routes a predicted migration whose destination
+// region belongs to another shard: that shard's master plans against its
+// own edge and orders the client's current edge (at curAddr, in this
+// master's region) to push the layers. Failures are logged, not returned —
+// proactive migration is best-effort, like the local ordering path.
+func (m *Master) orderShardMigration(ctx context.Context, model dnn.ModelName, client int, curAddr string, target geo.ServerID, owner int) {
+	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
+	defer cancel()
+	resp, err := m.peers.RoundTrip(ctx, m.cfg.Peers[owner], &wire.Envelope{
+		Type: wire.MsgShardMigrate,
+		ShardMig: &wire.ShardMigrate{
+			ClientID:   client,
+			Model:      model,
+			Target:     target,
+			SourceAddr: curAddr,
+		},
+	})
+	if err == nil && (resp.Ack == nil || !resp.Ack.OK) {
+		reason := "rejected"
+		if resp.Ack != nil && resp.Ack.Error != "" {
+			reason = resp.Ack.Error
+		}
+		err = fmt.Errorf("master: shard %d: %s", owner, reason)
+	}
+	if err != nil {
+		m.met.Counter("migration_errors_total").Inc()
+		m.log.Warn("cross-shard migration failed", "client", client, "target", int(target), "owner", owner, "err", err)
+		return
+	}
+	m.met.Counter("shard_migrations_out_total").Inc()
+	m.log.Debug("cross-shard migration routed", "client", client, "target", int(target), "owner", owner)
+}
+
+// acceptShardMigration handles a migration order routed from another
+// shard: this master owns the destination region, so it plans against the
+// target edge's live GPU statistics and tells the client's current edge
+// (in the sender's region) to push the layers. Layers carried in the
+// message are a precomputed fallback, used only when local planning fails.
+func (m *Master) acceptShardMigration(ctx context.Context, sm *wire.ShardMigrate) error {
+	if m.smap == nil {
+		return errors.New("master: shard migrate sent to an unsharded master")
+	}
+	if owner := m.smap.ShardOf(sm.Target); owner != m.cfg.Shard {
+		return fmt.Errorf("master: server %d owned by shard %d, this is shard %d", sm.Target, owner, m.cfg.Shard)
+	}
+	tAddr, ok := m.EdgeAddr(sm.Target)
+	if !ok {
+		return fmt.Errorf("master: no address for server %d", sm.Target)
+	}
+	m.mu.Lock()
+	err := m.ensurePlannerLocked(sm.Model)
+	planner := m.planners[sm.Model]
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	layers := sm.Layers
+	if st, perr := m.pingStats(ctx, tAddr); perr == nil {
+		if entry, perr := planner.PlanFor(*st); perr == nil {
+			layers = partition.FlattenSchedule(entry.Schedule)
+		}
+	}
+	if len(layers) == 0 {
+		return fmt.Errorf("master: no plan for client %d on server %d", sm.ClientID, sm.Target)
+	}
+	ctx, cancel := context.WithTimeout(ctx, wire.DefaultSendTimeout)
+	defer cancel()
+	mt := m.tr.NewTrace()
+	span := m.tr.NewSpanID()
+	start := m.tr.Now()
+	resp, err := m.edges.RoundTrip(ctx, sm.SourceAddr, &wire.Envelope{
+		Type: wire.MsgMigrateRequest,
+		Migrate: &wire.Migrate{
+			ClientID: sm.ClientID,
+			Layers:   layers,
+			PeerAddr: tAddr,
+		},
+		Trace: tracing.SpanContext{Trace: mt, Span: span},
+	})
+	if err != nil {
+		return fmt.Errorf("master: edge %s: %w: %w", sm.SourceAddr, core.ErrServerDown, err)
+	}
+	if resp.Ack == nil || !resp.Ack.OK {
+		return fmt.Errorf("master: edge %s rejected migration order", sm.SourceAddr)
+	}
+	m.tr.RecordWith(mt, span, 0, tracing.StageMigrate, nodeMaster, start, m.tr.Now())
+	m.met.Counter("shard_migrations_in_total").Inc()
 	return nil
 }
 

@@ -208,19 +208,84 @@ func (c *Client) Close() error {
 	return first
 }
 
+// maxMasterRedirects bounds how many shard redirects one location report
+// follows. One boundary crossing produces exactly one; a misconfigured
+// peer table that bounces a report between masters must not loop forever.
+const maxMasterRedirects = 2
+
 // ReportLocationContext sends a trajectory point to the master (triggering
-// its proactive-migration pipeline).
+// its proactive-migration pipeline). When the master runs in shard-owner
+// mode and the point crossed a region boundary, the reply is a redirect
+// naming the region's new owner: the client re-homes transparently —
+// dials the new master, re-registers (idempotent: the new owner already
+// adopted the client's state) and re-sends the report there.
 func (c *Client) ReportLocationContext(ctx context.Context, p geo.Point) error {
-	resp, err := c.master.RoundTripContext(ctx, &wire.Envelope{
-		Type:       wire.MsgTrajectory,
-		Trajectory: &wire.Trajectory{ClientID: c.cfg.ID, Points: []geo.Point{p}},
+	for redirects := 0; ; redirects++ {
+		resp, err := c.master.RoundTripContext(ctx, &wire.Envelope{
+			Type:       wire.MsgTrajectory,
+			Trajectory: &wire.Trajectory{ClientID: c.cfg.ID, Points: []geo.Point{p}},
+		})
+		if err != nil {
+			return fmt.Errorf("mobile: reporting location: %w: %w", core.ErrMasterDown, err)
+		}
+		if resp.Type == wire.MsgShardHandoff && resp.Handoff != nil {
+			if redirects >= maxMasterRedirects {
+				return fmt.Errorf("mobile: location report redirected %d times, giving up at %s", redirects, c.cfg.MasterAddr)
+			}
+			if err := c.switchMaster(ctx, resp.Handoff.Addr); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.Ack == nil || !resp.Ack.OK {
+			return fmt.Errorf("mobile: location rejected: %s", ackError(resp))
+		}
+		return nil
+	}
+}
+
+// switchMaster re-homes the client onto another shard master after a
+// handoff redirect: dial and re-register under the retry policy, then swap
+// the connection. The old master's connection is dropped only once the new
+// registration succeeds, so a failed switch leaves the client attached
+// where it was (that master kept serving it anyway — it only drops its
+// state after the peer accepts the handoff).
+func (c *Client) switchMaster(ctx context.Context, addr string) error {
+	start := c.tr.Now()
+	var conn *wire.Conn
+	err := c.retry.Do(ctx, "master handoff", func(ctx context.Context) error {
+		nc, err := wire.DialContext(ctx, addr)
+		if err != nil {
+			c.met.Counter("master_retries_total").Inc()
+			c.retryInstant()
+			return fmt.Errorf("%w: %w", core.ErrMasterDown, err)
+		}
+		resp, err := nc.RoundTripContext(ctx, &wire.Envelope{
+			Type:     wire.MsgRegister,
+			Register: &wire.Register{ClientID: c.cfg.ID, Model: c.cfg.Model},
+		})
+		if err != nil {
+			closeQuietly(nc, c.log, "master conn")
+			c.met.Counter("master_retries_total").Inc()
+			c.retryInstant()
+			return fmt.Errorf("%w: re-registering: %w", core.ErrMasterDown, err)
+		}
+		if resp.Ack == nil || !resp.Ack.OK {
+			closeQuietly(nc, c.log, "master conn")
+			return fmt.Errorf("mobile: re-registration rejected: %s", ackError(resp))
+		}
+		conn = nc
+		return nil
 	})
 	if err != nil {
-		return fmt.Errorf("mobile: reporting location: %w: %w", core.ErrMasterDown, err)
+		return fmt.Errorf("mobile: switching master to %s: %w", addr, err)
 	}
-	if resp.Ack == nil || !resp.Ack.OK {
-		return fmt.Errorf("mobile: location rejected: %s", ackError(resp))
-	}
+	closeQuietly(c.master, c.log, "master conn")
+	c.master = conn
+	c.cfg.MasterAddr = addr
+	c.met.Counter("master_handoffs_total").Inc()
+	c.tr.Record(c.tr.NewTrace(), 0, tracing.StageHandoff, c.node, start, c.tr.Now())
+	c.log.Info("re-homed to shard master", "addr", addr)
 	return nil
 }
 

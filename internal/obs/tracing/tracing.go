@@ -82,6 +82,9 @@ const (
 	// StageTransferHop: an activation tensor moving edge→edge between two
 	// stages of a multi-hop pipelined plan.
 	StageTransferHop Stage = "transfer.hop"
+	// StageHandoff: a client's registration moving between two shard
+	// masters after its trajectory crossed a region boundary.
+	StageHandoff Stage = "handoff"
 )
 
 // Span is one recorded stage interval. Spans with End == Start are

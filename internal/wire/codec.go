@@ -223,6 +223,33 @@ func appendEnvelopeBody(dst []byte, e *Envelope) ([]byte, error) {
 			dst = appendVarint(dst, h.InBytes)
 		}
 		dst = appendVarint(dst, f.DownBytes)
+	case MsgShardHandoff:
+		if e.Handoff == nil {
+			return append(dst, 0), nil
+		}
+		h := e.Handoff
+		dst = append(dst, 1)
+		dst = appendVarint(dst, int64(h.ClientID))
+		dst = appendString(dst, string(h.Model))
+		dst = appendVarint(dst, int64(h.FromShard))
+		dst = appendVarint(dst, int64(h.ToShard))
+		dst = appendString(dst, h.Addr)
+		dst = appendUvarint(dst, uint64(len(h.History)))
+		for _, p := range h.History {
+			dst = appendFloat(dst, p.X)
+			dst = appendFloat(dst, p.Y)
+		}
+	case MsgShardMigrate:
+		if e.ShardMig == nil {
+			return append(dst, 0), nil
+		}
+		m := e.ShardMig
+		dst = append(dst, 1)
+		dst = appendVarint(dst, int64(m.ClientID))
+		dst = appendString(dst, string(m.Model))
+		dst = appendVarint(dst, int64(m.Target))
+		dst = appendLayers(dst, m.Layers)
+		dst = appendString(dst, m.SourceAddr)
 	default:
 		return dst, fmt.Errorf("unknown message type %d", e.Type)
 	}
@@ -249,11 +276,15 @@ type recvScratch struct {
 	has        Has
 	ack        Ack
 	forward    Forward
+	handoff    ShardHandoff
+	shardMig   ShardMigrate
 
 	points       []geo.Point
+	handoffPts   []geo.Point
 	migrateIDs   []dnn.LayerID
 	uploadIDs    []dnn.LayerID
 	hasIDs       []dnn.LayerID
+	shardMigIDs  []dnn.LayerID
 	serverLayers []dnn.LayerID
 	uploadOrder  [][]dnn.LayerID
 	planHops     []PlanHop
@@ -261,6 +292,7 @@ type recvScratch struct {
 
 	modelMemo string
 	peerMemo  string
+	srcMemo   string
 	errMemo   string
 }
 
@@ -542,6 +574,23 @@ func decodeEnvelope(payload []byte, t MsgType, env *Envelope, s *recvScratch) er
 			s.forward.Hops = s.fwdHops
 			s.forward.DownBytes = d.varint()
 			env.Forward = &s.forward
+		case MsgShardHandoff:
+			s.handoff.ClientID = int(d.varint())
+			s.handoff.Model = dnn.ModelName(d.string(&s.modelMemo))
+			s.handoff.FromShard = int(d.varint())
+			s.handoff.ToShard = int(d.varint())
+			s.handoff.Addr = d.string(&s.peerMemo)
+			s.handoffPts = d.points(s.handoffPts)
+			s.handoff.History = s.handoffPts
+			env.Handoff = &s.handoff
+		case MsgShardMigrate:
+			s.shardMig.ClientID = int(d.varint())
+			s.shardMig.Model = dnn.ModelName(d.string(&s.modelMemo))
+			s.shardMig.Target = geo.ServerID(d.varint())
+			s.shardMigIDs = d.layers(s.shardMigIDs)
+			s.shardMig.Layers = s.shardMigIDs
+			s.shardMig.SourceAddr = d.string(&s.srcMemo)
+			env.ShardMig = &s.shardMig
 		}
 	}
 	// Optional trace tail. Absent bytes mean "no context" (frames from

@@ -103,6 +103,25 @@ func goldenEnvelopes() []struct {
 			Forward: &Forward{ClientID: 9, DownBytes: 16,
 				Hops: []ForwardHop{{Addr: "127.0.0.1:7102", ServerBaseNs: 1000, Intensity: 0.1, InBytes: 64}}}}},
 		{"forward-nil-body", &Envelope{Type: MsgForward}},
+		// v4 additions: sharded control plane. Master-to-master client
+		// ownership handoff (and its master-to-client redirect form) plus
+		// the cross-shard proactive migration order.
+		{"shard-handoff", &Envelope{Type: MsgShardHandoff, Handoff: &ShardHandoff{
+			ClientID: 7, Model: dnn.ModelMobileNet, FromShard: 0, ToShard: 2,
+			Addr:    "10.0.0.12:7001",
+			History: []geo.Point{{X: 120, Y: 80}, {X: 140, Y: 85}}}}},
+		{"shard-handoff-redirect", &Envelope{Type: MsgShardHandoff, Handoff: &ShardHandoff{
+			ClientID: 7, Model: dnn.ModelMobileNet, FromShard: 0, ToShard: 2,
+			Addr: "10.0.0.12:7001"}}},
+		{"shard-handoff-traced", &Envelope{Type: MsgShardHandoff,
+			Trace: tracing.SpanContext{Trace: 11, Span: 22},
+			Handoff: &ShardHandoff{ClientID: 3, Model: dnn.ModelResNet, FromShard: 1, ToShard: 0,
+				Addr: "10.0.0.11:7001", History: []geo.Point{{X: -5, Y: 2.5}}}}},
+		{"shard-handoff-nil-body", &Envelope{Type: MsgShardHandoff}},
+		{"shard-migrate", &Envelope{Type: MsgShardMigrate, ShardMig: &ShardMigrate{
+			ClientID: 7, Model: dnn.ModelMobileNet, Target: 14,
+			Layers: []dnn.LayerID{3, 4, 5}, SourceAddr: "10.0.0.5:7101"}}},
+		{"shard-migrate-nil-body", &Envelope{Type: MsgShardMigrate}},
 	}
 }
 
@@ -192,6 +211,12 @@ func normalize(e *Envelope) *Envelope {
 	}
 	if out.Has != nil {
 		nilIfEmpty(&out.Has.Layers)
+	}
+	if out.Handoff != nil && len(out.Handoff.History) == 0 {
+		out.Handoff.History = nil
+	}
+	if out.ShardMig != nil {
+		nilIfEmpty(&out.ShardMig.Layers)
 	}
 	return out
 }

@@ -111,6 +111,16 @@ type idleConn struct {
 // NewPool returns a pool with the default limits.
 func NewPool() *Pool { return &Pool{} }
 
+// NewRegisteredPool returns a pool with its counters mirrored into reg
+// under the canonical "<role>_pool_" prefix (edge_pool_*, peer_pool_*,
+// shard_pool_*, ...). Daemons use this instead of hand-assembling the
+// prefix so every pool's metrics follow one naming scheme.
+func NewRegisteredPool(reg *obs.Registry, role string) *Pool {
+	p := NewPool()
+	p.RegisterMetrics(reg, role+"_pool_")
+	return p
+}
+
 func (p *Pool) maxIdle() int {
 	if p.MaxIdlePerAddr > 0 {
 		return p.MaxIdlePerAddr

@@ -78,9 +78,14 @@ const (
 	// chain to Hops[1].Addr, answering with MsgExecResponse once the
 	// downstream reply arrives.
 	MsgForward
+	// Sharded control plane (master -> master, and master -> client as a
+	// redirect): ownership handoff of a client crossing a region boundary,
+	// and a cross-shard proactive cache migration order.
+	MsgShardHandoff
+	MsgShardMigrate
 
 	// maxMsgType bounds the valid type range for frame validation.
-	maxMsgType = MsgForward
+	maxMsgType = MsgShardMigrate
 )
 
 // Protocol framing parameters.
@@ -88,8 +93,9 @@ const (
 	// ProtoVersion is the wire format version carried by every frame.
 	// Version 1 was the gob protocol (implicit, never tagged); version 2
 	// was the initial binary framing; version 3 extends PlanResp with the
-	// multi-hop chain tail and adds MsgForward.
-	ProtoVersion byte = 3
+	// multi-hop chain tail and adds MsgForward; version 4 adds the sharded
+	// control plane's MsgShardHandoff and MsgShardMigrate.
+	ProtoVersion byte = 4
 	// headerLen is version(1) + type(1) + payload length(4).
 	headerLen = 6
 	// MaxFrameBytes bounds a frame's payload; larger length prefixes are
@@ -140,6 +146,8 @@ type Envelope struct {
 	Has        *Has
 	Ack        *Ack
 	Forward    *Forward
+	Handoff    *ShardHandoff
+	ShardMig   *ShardMigrate
 }
 
 // Register announces a client and its model to the master. The model is
@@ -325,6 +333,43 @@ type ForwardHop struct {
 	InBytes      int64
 }
 
+// ShardHandoff transfers ownership of a client registration between two
+// shard masters when the client's trajectory crosses a region boundary
+// (master -> master), and doubles as the redirect a master returns for a
+// trajectory report it no longer owns (master -> client): Addr names the
+// shard master that owns the client after the handoff. History carries the
+// client's recent locations so the new owner can predict and plan without
+// waiting to accumulate reports.
+//
+// Encoding: ClientID varint, Model string, FromShard varint, ToShard
+// varint, Addr string, point count uvarint then X/Y float64 pairs.
+type ShardHandoff struct {
+	ClientID  int
+	Model     dnn.ModelName
+	FromShard int
+	ToShard   int
+	Addr      string
+	History   []geo.Point
+}
+
+// ShardMigrate asks the master owning Target's region to accept a
+// proactive cross-shard cache migration: the sender owns the client's
+// current edge server (reachable at SourceAddr) and predicted movement
+// into the receiver's region. The receiver adopts the plan and instructs
+// SourceAddr to push the listed layers to Target's edge daemon
+// (MsgMigrateRequest), so layer bytes flow edge-to-edge exactly as in the
+// single-master path.
+//
+// Encoding: ClientID varint, Model string, Target varint, Layers id-list,
+// SourceAddr string.
+type ShardMigrate struct {
+	ClientID   int
+	Model      dnn.ModelName
+	Target     geo.ServerID
+	Layers     []dnn.LayerID
+	SourceAddr string
+}
+
 // Ack is a generic success/failure reply.
 //
 // Encoding: OK byte, Error string, Seq varint.
@@ -397,6 +442,16 @@ func (e *Envelope) Clone() *Envelope {
 		v := *e.Forward
 		v.Hops = append([]ForwardHop(nil), e.Forward.Hops...)
 		out.Forward = &v
+	}
+	if e.Handoff != nil {
+		v := *e.Handoff
+		v.History = append([]geo.Point(nil), e.Handoff.History...)
+		out.Handoff = &v
+	}
+	if e.ShardMig != nil {
+		v := *e.ShardMig
+		v.Layers = append([]dnn.LayerID(nil), e.ShardMig.Layers...)
+		out.ShardMig = &v
 	}
 	return out
 }

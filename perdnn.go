@@ -132,6 +132,7 @@ type options struct {
 	maxHops   int
 	servers   []ServerSpec
 	minCut    bool
+	shards    int
 }
 
 func buildOptions(opts []Option) options {
@@ -171,6 +172,13 @@ func WithDeadline(d time.Duration) Option { return func(o *options) { o.deadline
 // WithTracer records a live client's request spans (register, plan fetch,
 // upload units, queries) into t; see NewWallClockTracer.
 func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
+
+// WithShards splits a city run into n region shards, each advancing its
+// own event queue on its own goroutine with barrier synchronization at
+// movement ticks. Results — journals included — are byte-identical to the
+// unsharded run; only the wall time changes. 0 or 1 keeps the
+// single-queue engine.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
 
 // WithObjective selects what Plan minimizes: end-to-end latency (the
 // default) or pipeline bottleneck time (SEIFER-style throughput).
@@ -472,12 +480,16 @@ func RunCity(env *Env, cfg CityConfig) (*CityResult, error) { return edgesim.Run
 
 // RunCityContext executes one large-scale simulation run under a context:
 // cancellation aborts the run at its next movement tick. WithFaults
-// injects a failure model (overriding cfg.Faults) and WithDeadline bounds
-// the run's wall time.
+// injects a failure model (overriding cfg.Faults), WithShards spreads the
+// run across region shards (overriding cfg.Shards), and WithDeadline
+// bounds the run's wall time.
 func RunCityContext(ctx context.Context, env *Env, cfg CityConfig, opts ...Option) (*CityResult, error) {
 	o := buildOptions(opts)
 	if o.faults != nil {
 		cfg.Faults = o.faults
+	}
+	if o.shards > 0 {
+		cfg.Shards = o.shards
 	}
 	ctx, cancel := o.withDeadline(ctx)
 	defer cancel()
